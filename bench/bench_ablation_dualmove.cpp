@@ -1,0 +1,40 @@
+// Ablation: QSPR's simultaneous dual-qubit movement toward the median trap
+// (§IV.B) versus the destination-fixed routing of QUALE/QPOS (§I).
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+int main() {
+  qspr_bench::print_header(
+      "Ablation - dual-qubit median movement vs destination-fixed");
+
+  const Fabric fabric = make_paper_fabric();
+  TextTable table({"Circuit", "dual-move (us)", "dest-fixed (us)", "saved",
+                   "moves dual/fixed"});
+
+  Duration dual_total = 0;
+  Duration fixed_total = 0;
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    const Program program = make_encoder(paper.code);
+    MapperOptions dual;
+    dual.mvfb_seeds = 10;
+    MapperOptions fixed = dual;
+    fixed.dual_move = false;
+
+    const MapResult with = map_program(program, fabric, dual);
+    const MapResult without = map_program(program, fabric, fixed);
+    dual_total += with.latency;
+    fixed_total += without.latency;
+    table.add_row({code_name(paper.code), std::to_string(with.latency),
+                   std::to_string(without.latency),
+                   qspr_bench::improvement(without.latency, with.latency),
+                   std::to_string(with.stats.moves) + "/" +
+                       std::to_string(without.stats.moves)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nsuite totals: dual-move " << dual_total
+            << " us vs destination-fixed " << fixed_total << " us ("
+            << qspr_bench::improvement(fixed_total, dual_total)
+            << " saved by moving both operands toward the median trap).\n";
+  return 0;
+}

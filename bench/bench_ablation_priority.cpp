@@ -1,0 +1,65 @@
+// Ablation: the scheduling priority function (§III). QSPR's priority is a
+// linear combination of the dependent count (alpha) and the longest path
+// delay to the sink (beta); prior art used ALAP (QUALE), dependent counts
+// (QPOS) or total dependent delay (ref. [5]).
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+namespace {
+
+struct Policy {
+  std::string name;
+  MapperOptions options;
+};
+
+}  // namespace
+
+int main() {
+  qspr_bench::print_header("Ablation - scheduling priority policies");
+
+  const Fabric fabric = make_paper_fabric();
+
+  std::vector<Policy> policies;
+  {
+    MapperOptions base;
+    base.mvfb_seeds = 10;
+    Policy combined{"alpha+beta (QSPR)", base};
+    Policy alpha_only{"alpha only (dependents)", base};
+    alpha_only.options.priority_beta = 0.0;
+    Policy beta_only{"beta only (longest path)", base};
+    beta_only.options.priority_alpha = 0.0;
+    Policy alap{"ALAP (QUALE's)", base};
+    alap.options.schedule_policy = SchedulePolicy::Alap;
+    Policy qpos{"dependents (QPOS's)", base};
+    qpos.options.schedule_policy = SchedulePolicy::AsapDependents;
+    Policy whitney{"total dependent delay [5]", base};
+    whitney.options.schedule_policy = SchedulePolicy::TotalDependentDelay;
+    policies = {combined, alpha_only, beta_only, alap, qpos, whitney};
+  }
+
+  std::vector<std::string> headers = {"Policy"};
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    headers.push_back(code_name(paper.code));
+  }
+  headers.push_back("total");
+  TextTable table(headers);
+
+  for (const Policy& policy : policies) {
+    std::vector<std::string> row = {policy.name};
+    Duration total = 0;
+    for (const PaperNumbers& paper : paper_benchmarks()) {
+      const Program program = make_encoder(paper.code);
+      const Duration latency =
+          map_program(program, fabric, policy.options).latency;
+      total += latency;
+      row.push_back(std::to_string(latency));
+    }
+    row.push_back(std::to_string(total));
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+  std::cout << "\nall latencies in us; lower is better. The combined QSPR "
+               "priority should be at or near the best total.\n";
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: QSPR with and without turn-aware routing (design choice §IV.B,
+// Fig. 5). Everything else (scheduler, placer, capacities) stays QSPR.
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+int main() {
+  qspr_bench::print_header("Ablation - turn-aware path costs on/off");
+
+  const Fabric fabric = make_paper_fabric();
+  TextTable table({"Circuit", "turn-aware (us)", "turn-blind (us)",
+                   "penalty", "turns aware/blind"});
+
+  Duration aware_total = 0;
+  Duration blind_total = 0;
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    const Program program = make_encoder(paper.code);
+    MapperOptions aware;
+    aware.mvfb_seeds = 10;
+    MapperOptions blind = aware;
+    blind.turn_aware = false;
+
+    const MapResult with = map_program(program, fabric, aware);
+    const MapResult without = map_program(program, fabric, blind);
+    aware_total += with.latency;
+    blind_total += without.latency;
+    table.add_row({code_name(paper.code), std::to_string(with.latency),
+                   std::to_string(without.latency),
+                   qspr_bench::improvement(without.latency, with.latency),
+                   std::to_string(with.stats.turns) + "/" +
+                       std::to_string(without.stats.turns)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nsuite totals: turn-aware " << aware_total
+            << " us vs turn-blind " << blind_total << " us ("
+            << qspr_bench::improvement(blind_total, aware_total)
+            << " saved by modelling turns in the cost, paper Fig. 5).\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Reproduces paper Fig. 5: routing on the naive graph model (turns are
+// invisible to the cost function, Fig. 5.b) versus the enhanced model with
+// orientation-split vertices and turn edges (Fig. 5.c).
+//
+// As in the figure, three corner-to-corner routes of equal Manhattan length
+// are compared: the single-corner path (1), a Z-shaped path (2) and a
+// staircase (3). Under the naive model all three have identical cost — the
+// router is "free to select any of the paths with equal Manhattan
+// distances" — while the enhanced model separates them by turn count and its
+// Dijkstra provably returns a minimum-physical-delay route.
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fabric/text_io.hpp"
+#include "route/router.hpp"
+
+using namespace qspr;
+
+namespace {
+
+/// Builds the vertex sequence of a concrete route given the trap endpoints
+/// and the waypoints (first cell after the source trap, every corner cell,
+/// last cell before the target trap). Consecutive legs both visit the shared
+/// corner cell, once per orientation, which yields the turn edge; the trap
+/// access ports contribute their own (perpendicular-entry) turns.
+std::vector<RouteNodeId> build_route(const RoutingGraph& graph, TrapId from,
+                                     const std::vector<Position>& waypoints,
+                                     TrapId to) {
+  const Fabric& fabric = graph.fabric();
+  std::vector<RouteNodeId> nodes;
+  nodes.push_back(graph.trap_node(from));
+  // Leave the source trap along the port axis.
+  nodes.push_back(graph.node_at(
+      waypoints.front(),
+      axis_of(direction_between(fabric.trap(from).position,
+                                waypoints.front()))));
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const Position a = waypoints[i];
+    const Position b = waypoints[i + 1];
+    const Orientation axis = a.row == b.row ? Orientation::Horizontal
+                                            : Orientation::Vertical;
+    Position p = a;
+    while (true) {
+      const RouteNodeId node = graph.node_at(p, axis);
+      if (node.is_valid() && nodes.back() != node) nodes.push_back(node);
+      if (p == b) break;
+      p = step(p, direction_between(
+                      p, {p.row + (b.row > p.row ? 1 : b.row < p.row ? -1 : 0),
+                          p.col +
+                              (b.col > p.col ? 1 : b.col < p.col ? -1 : 0)}));
+    }
+  }
+  // Enter the target trap along its port axis.
+  const RouteNodeId entry = graph.node_at(
+      waypoints.back(),
+      axis_of(direction_between(waypoints.back(),
+                                fabric.trap(to).position)));
+  if (nodes.back() != entry) nodes.push_back(entry);
+  nodes.push_back(graph.trap_node(to));
+  return nodes;
+}
+
+}  // namespace
+
+int main() {
+  qspr_bench::print_header(
+      "Figure 5 - turn-aware routing graph vs the naive model");
+
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  std::cout << render_fabric(fabric) << "\n"
+            << "route: bottom-left trap (7,1) -> top-right trap (1,7)\n\n";
+
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const TrapId from = fabric.trap_at({7, 1});
+  const TrapId to = fabric.trap_at({1, 7});
+
+  // The figure's three equal-Manhattan-length candidates.
+  struct Candidate {
+    const char* name;
+    std::vector<Position> waypoints;
+  };
+  const std::vector<Candidate> candidates = {
+      {"(1) single corner", {{7, 0}, {0, 0}, {0, 7}}},
+      {"(2) Z-shaped", {{7, 0}, {4, 0}, {4, 8}, {1, 8}}},
+      {"(3) staircase", {{7, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 7}}},
+  };
+
+  TextTable table({"Path", "Moves", "Turns", "Naive cost (Fig. 5.b)",
+                   "Enhanced cost (Fig. 5.c)", "Physical delay (us)"});
+  for (const Candidate& candidate : candidates) {
+    const auto nodes = build_route(graph, from, candidate.waypoints, to);
+    const RoutedPath path = lower_path(graph, nodes, params);
+    const Duration naive_cost =
+        static_cast<Duration>(path.move_count()) * params.t_move;
+    const Duration enhanced_cost =
+        naive_cost + static_cast<Duration>(path.turn_count()) * params.t_turn;
+    table.add_row({candidate.name, std::to_string(path.move_count()),
+                   std::to_string(path.turn_count()),
+                   std::to_string(naive_cost), std::to_string(enhanced_cost),
+                   std::to_string(path.total_delay())});
+  }
+  std::cout << table.to_string();
+
+  // What the routers actually select.
+  CongestionState congestion(fabric.segment_count(), fabric.junction_count());
+  Router naive(graph, params, RouterOptions{/*turn_aware=*/false});
+  Router enhanced(graph, params, RouterOptions{/*turn_aware=*/true});
+  const auto naive_path = naive.route_trap_to_trap(from, to, congestion);
+  const auto enhanced_path = enhanced.route_trap_to_trap(from, to, congestion);
+  std::cout << "\nnaive router pick:    " << naive_path->move_count()
+            << " moves, " << naive_path->turn_count() << " turns, "
+            << naive_path->total_delay()
+            << " us physical (selection cost " << naive.last_path_cost()
+            << " - blind to turns, any of the paths above is 'optimal')\n"
+            << "enhanced router pick: " << enhanced_path->move_count()
+            << " moves, " << enhanced_path->turn_count() << " turns, "
+            << enhanced_path->total_delay()
+            << " us physical (selection cost " << enhanced.last_path_cost()
+            << " - guaranteed minimum delay)\n";
+
+  // Sweep: the guaranteed advantage across random trap pairs on the 45x85
+  // fabric (our naive tie-breaking is deterministic, so this measures the
+  // *floor* of the naive model's loss, not its typical arbitrary pick).
+  const Fabric big = make_paper_fabric();
+  const RoutingGraph big_graph(big);
+  CongestionState big_congestion(big.segment_count(), big.junction_count());
+  Router big_naive(big_graph, params, RouterOptions{false});
+  Router big_enhanced(big_graph, params, RouterOptions{true});
+  Rng rng(7);
+  RunningStats saved;
+  for (int i = 0; i < 200; ++i) {
+    const TrapId a = big.traps()[rng.uniform_index(big.trap_count())].id;
+    const TrapId b = big.traps()[rng.uniform_index(big.trap_count())].id;
+    if (a == b) continue;
+    const auto pn = big_naive.route_trap_to_trap(a, b, big_congestion);
+    const auto pe = big_enhanced.route_trap_to_trap(a, b, big_congestion);
+    saved.add(static_cast<double>(pn->total_delay() - pe->total_delay()));
+  }
+  std::cout << "\nrandom trap pairs on the 45x85 fabric (n=" << saved.count()
+            << "): mean physical delay saved by turn-awareness "
+            << format_fixed(saved.mean(), 1) << " us, max "
+            << format_fixed(saved.max(), 0)
+            << " us, even against this implementation's benign naive "
+               "tie-breaking.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Lesion study: walk from QSPR to the QUALE configuration one design choice
+// at a time, measuring the latency cost of removing each feature. This
+// decomposes the Table 2 gap into the paper's §I contribution bullets:
+// MVFB placement, dual-qubit median movement, turn-aware costs, channel
+// multiplexing, the stay-where-you-interacted discipline, and the scheduler.
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+namespace {
+
+struct Step {
+  std::string name;
+  MapperOptions options;
+};
+
+}  // namespace
+
+int main() {
+  qspr_bench::print_header(
+      "Lesion study - removing QSPR features one at a time toward QUALE");
+
+  std::vector<Step> steps;
+  {
+    MapperOptions full;
+    full.mvfb_seeds = 25;
+    steps.push_back({"QSPR (MVFB m=25)", full});
+
+    MapperOptions no_mvfb = full;
+    no_mvfb.placer = PlacerKind::Center;
+    steps.push_back({"- MVFB (center placement)", no_mvfb});
+
+    MapperOptions no_dual = no_mvfb;
+    no_dual.dual_move = false;
+    steps.push_back({"- dual-qubit movement", no_dual});
+
+    MapperOptions no_turn = no_dual;
+    no_turn.turn_aware = false;
+    steps.push_back({"- turn-aware costs", no_turn});
+
+    MapperOptions no_multiplex = no_turn;
+    no_multiplex.channel_capacity = 1;
+    steps.push_back({"- channel multiplexing", no_multiplex});
+
+    MapperOptions return_home = no_multiplex;
+    return_home.return_home = true;
+    steps.push_back({"- stay-in-place (ions return home)", return_home});
+
+    MapperOptions alap = return_home;
+    alap.schedule_policy = SchedulePolicy::Alap;
+    steps.push_back({"- QSPR priority (= QUALE)", alap});
+  }
+
+  std::vector<std::string> headers = {"Configuration"};
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    headers.push_back(code_name(paper.code));
+  }
+  headers.push_back("total");
+  headers.push_back("vs QSPR");
+  TextTable table(headers);
+
+  Duration qspr_total = 0;
+  for (const Step& step : steps) {
+    std::vector<std::string> row = {step.name};
+    Duration total = 0;
+    for (const PaperNumbers& paper : paper_benchmarks()) {
+      const Program program = make_encoder(paper.code);
+      const Duration latency =
+          map_program(program, make_paper_fabric(), step.options).latency;
+      total += latency;
+      row.push_back(std::to_string(latency));
+    }
+    if (qspr_total == 0) qspr_total = total;
+    row.push_back(std::to_string(total));
+    row.push_back("+" + format_fixed(100.0 *
+                                         static_cast<double>(total - qspr_total) /
+                                         static_cast<double>(qspr_total),
+                                     1) +
+                  "%");
+    table.add_row(row);
+  }
+  std::cout << table.to_string();
+  std::cout << "\nlatencies in us over the six QECC circuits; each row "
+               "removes one more QSPR feature (cumulative). The last row is "
+               "the QUALE configuration of Table 2.\n";
+  return 0;
+}

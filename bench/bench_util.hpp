@@ -1,0 +1,25 @@
+// Shared helpers for the experiment-reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/qspr.hpp"
+
+namespace qspr_bench {
+
+inline void print_header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// "x.x%" improvement of `better` over `worse`.
+inline std::string improvement(qspr::Duration worse, qspr::Duration better) {
+  if (worse == 0) return "n/a";
+  return qspr::format_fixed(
+             100.0 * static_cast<double>(worse - better) /
+                 static_cast<double>(worse),
+             2) +
+         "%";
+}
+
+}  // namespace qspr_bench

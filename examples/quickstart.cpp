@@ -1,0 +1,72 @@
+// Quickstart: parse a QASM program (the paper's Fig. 3 encoder), map it onto
+// the 45x85 ion-trap fabric with QSPR, and inspect the result.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/qspr.hpp"
+
+int main() {
+  using namespace qspr;
+
+  // 1. A quantum program in the paper's QASM dialect ([[5,1,3]] encoder).
+  const Program program = parse_qasm(R"(
+    QUBIT q0,0
+    QUBIT q1,0
+    QUBIT q2,0
+    QUBIT q3        # the data qubit
+    QUBIT q4,0
+    H q0
+    H q1
+    H q2
+    H q4
+    C-X q3,q2
+    C-Z q4,q2
+    C-Y q3,q1
+    C-Y q2,q1
+    C-Y q3,q0
+    C-X q4,q1
+    C-Z q2,q0
+    C-Z q4,q0
+  )",
+                                     "[[5,1,3]]");
+  std::cout << "parsed " << program.name() << ": " << program.qubit_count()
+            << " qubits, " << program.instruction_count()
+            << " instructions\n";
+
+  // 2. The target fabric: the paper's 45x85 QUALE-style grid (Fig. 4).
+  const Fabric fabric = make_paper_fabric();
+  std::cout << describe_fabric(fabric) << "\n";
+
+  // 3. Map with QSPR: priority scheduling + MVFB placement + turn-aware
+  //    congestion-negotiated routing. All knobs have paper defaults.
+  MapperOptions options;
+  options.mvfb_seeds = 25;  // the paper's m
+  const MapResult result = map_program(program, fabric, options);
+
+  // 4. Results: total latency, the ideal lower bound, and Eq. 1 terms.
+  std::cout << "\nmapped latency:    " << result.latency << " us\n"
+            << "ideal lower bound: " << result.ideal_latency << " us\n"
+            << "sum T_routing:     " << result.stats.total_routing << " us\n"
+            << "sum T_congestion:  " << result.stats.total_congestion
+            << " us\n"
+            << "moves / turns:     " << result.stats.moves << " / "
+            << result.stats.turns << "\n"
+            << "placement runs:    " << result.placement_runs << "\n";
+
+  // 5. The control trace drives the physical machine; print the first ops.
+  std::cout << "\nfirst micro-commands of the control trace:\n";
+  int shown = 0;
+  for (const MicroOp& op : result.trace.ops()) {
+    if (shown++ == 8) break;
+    std::cout << "  [" << op.start << "," << op.end << "] "
+              << (op.kind == MicroOpKind::Move   ? "move"
+                  : op.kind == MicroOpKind::Turn ? "turn"
+                                                 : "gate")
+              << (op.qubit.is_valid()
+                      ? " q" + std::to_string(op.qubit.value())
+                      : "")
+              << " at " << to_string(op.from) << "\n";
+  }
+  return 0;
+}

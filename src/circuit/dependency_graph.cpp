@@ -1,0 +1,236 @@
+#include "circuit/dependency_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+void add_unique_edge(std::vector<InstructionId>& list, InstructionId id) {
+  if (std::find(list.begin(), list.end(), id) == list.end()) {
+    list.push_back(id);
+  }
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::build(const Program& program) {
+  program.validate();
+  DependencyGraph graph;
+  graph.qubit_count_ = program.qubit_count();
+  graph.instructions_ = program.instructions();
+  const std::size_t n = graph.instructions_.size();
+  graph.preds_.resize(n);
+  graph.succs_.resize(n);
+
+  // last_writer[q] = most recent instruction touching qubit q, if any.
+  std::vector<InstructionId> last_writer(program.qubit_count());
+  for (const Instruction& instr : graph.instructions_) {
+    for (const QubitId q : instr.operands()) {
+      const InstructionId prev = last_writer[q.index()];
+      if (prev.is_valid()) {
+        add_unique_edge(graph.preds_[instr.id.index()], prev);
+        add_unique_edge(graph.succs_[prev.index()], instr.id);
+      }
+      last_writer[q.index()] = instr.id;
+    }
+  }
+  return graph;
+}
+
+const Instruction& DependencyGraph::instruction(InstructionId id) const {
+  require(id.is_valid() && id.index() < instructions_.size(),
+          "instruction id out of range");
+  return instructions_[id.index()];
+}
+
+const std::vector<InstructionId>& DependencyGraph::predecessors(
+    InstructionId id) const {
+  require(id.is_valid() && id.index() < preds_.size(), "id out of range");
+  return preds_[id.index()];
+}
+
+const std::vector<InstructionId>& DependencyGraph::successors(
+    InstructionId id) const {
+  require(id.is_valid() && id.index() < succs_.size(), "id out of range");
+  return succs_[id.index()];
+}
+
+std::vector<InstructionId> DependencyGraph::sources() const {
+  std::vector<InstructionId> result;
+  for (std::size_t i = 0; i < preds_.size(); ++i) {
+    if (preds_[i].empty()) result.push_back(InstructionId::from_index(i));
+  }
+  return result;
+}
+
+std::vector<InstructionId> DependencyGraph::sinks() const {
+  std::vector<InstructionId> result;
+  for (std::size_t i = 0; i < succs_.size(); ++i) {
+    if (succs_[i].empty()) result.push_back(InstructionId::from_index(i));
+  }
+  return result;
+}
+
+std::vector<InstructionId> DependencyGraph::topological_order() const {
+  const std::size_t n = node_count();
+  std::vector<int> indegree(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<int>(preds_[i].size());
+  }
+  // Min-id-first frontier for determinism. Frontiers are tiny (bounded by
+  // qubit count), so a sorted vector is fine.
+  std::vector<InstructionId> frontier = sources();
+  std::vector<InstructionId> order;
+  order.reserve(n);
+  while (!frontier.empty()) {
+    const auto it = std::min_element(frontier.begin(), frontier.end());
+    const InstructionId next = *it;
+    frontier.erase(it);
+    order.push_back(next);
+    for (const InstructionId succ : succs_[next.index()]) {
+      if (--indegree[succ.index()] == 0) frontier.push_back(succ);
+    }
+  }
+  if (order.size() != n) {
+    throw ValidationError("dependency graph contains a cycle");
+  }
+  return order;
+}
+
+DependencyGraph DependencyGraph::reversed() const {
+  DependencyGraph graph;
+  graph.qubit_count_ = qubit_count_;
+  graph.instructions_ = instructions_;
+  for (Instruction& instr : graph.instructions_) {
+    instr.kind = inverse_of(instr.kind);
+  }
+  graph.preds_ = succs_;
+  graph.succs_ = preds_;
+  return graph;
+}
+
+std::vector<TimePoint> DependencyGraph::asap_start_times(
+    const TechnologyParams& params) const {
+  std::vector<TimePoint> start(node_count(), 0);
+  for (const InstructionId id : topological_order()) {
+    TimePoint earliest = 0;
+    for (const InstructionId pred : preds_[id.index()]) {
+      const Duration pred_delay =
+          gate_delay(instructions_[pred.index()].kind, params);
+      earliest = std::max(earliest, start[pred.index()] + pred_delay);
+    }
+    start[id.index()] = earliest;
+  }
+  return start;
+}
+
+std::vector<TimePoint> DependencyGraph::alap_start_times(
+    const TechnologyParams& params) const {
+  const Duration deadline = critical_path_latency(params);
+  std::vector<TimePoint> start(node_count(), 0);
+  const std::vector<InstructionId> order = topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const InstructionId id = *it;
+    const Duration own_delay = gate_delay(instructions_[id.index()].kind, params);
+    TimePoint latest = deadline - own_delay;
+    for (const InstructionId succ : succs_[id.index()]) {
+      latest = std::min(latest, start[succ.index()] - own_delay);
+    }
+    start[id.index()] = latest;
+  }
+  return start;
+}
+
+Duration DependencyGraph::critical_path_latency(
+    const TechnologyParams& params) const {
+  const std::vector<TimePoint> start = asap_start_times(params);
+  Duration latency = 0;
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    latency = std::max(latency,
+                       start[i] + gate_delay(instructions_[i].kind, params));
+  }
+  return latency;
+}
+
+std::vector<Duration> DependencyGraph::longest_path_to_sink(
+    const TechnologyParams& params) const {
+  std::vector<Duration> longest(node_count(), 0);
+  const std::vector<InstructionId> order = topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const InstructionId id = *it;
+    Duration tail = 0;
+    for (const InstructionId succ : succs_[id.index()]) {
+      tail = std::max(tail, longest[succ.index()]);
+    }
+    longest[id.index()] =
+        gate_delay(instructions_[id.index()].kind, params) + tail;
+  }
+  return longest;
+}
+
+namespace {
+
+/// descendants[i] = bitset (over instruction indices) of i's transitive
+/// dependents.
+std::vector<std::vector<std::uint64_t>> descendant_bitsets(
+    const std::vector<std::vector<InstructionId>>& succs,
+    const std::vector<InstructionId>& reverse_topological) {
+  const std::size_t n = succs.size();
+  const std::size_t words = (n + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> descendants(
+      n, std::vector<std::uint64_t>(words, 0));
+  for (const InstructionId id : reverse_topological) {
+    const std::size_t i = id.index();
+    for (const InstructionId succ : succs[i]) {
+      const std::size_t s = succ.index();
+      descendants[i][s / 64] |= std::uint64_t{1} << (s % 64);
+      for (std::size_t w = 0; w < words; ++w) {
+        descendants[i][w] |= descendants[s][w];
+      }
+    }
+  }
+  return descendants;
+}
+
+}  // namespace
+
+std::vector<int> DependencyGraph::descendant_counts() const {
+  std::vector<InstructionId> order = topological_order();
+  std::reverse(order.begin(), order.end());
+  const auto descendants = descendant_bitsets(succs_, order);
+  std::vector<int> counts(node_count(), 0);
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    int count = 0;
+    for (const std::uint64_t word : descendants[i]) {
+      count += std::popcount(word);
+    }
+    counts[i] = count;
+  }
+  return counts;
+}
+
+std::vector<Duration> DependencyGraph::descendant_delay_sums(
+    const TechnologyParams& params) const {
+  std::vector<InstructionId> order = topological_order();
+  std::reverse(order.begin(), order.end());
+  const auto descendants = descendant_bitsets(succs_, order);
+  std::vector<Duration> sums(node_count(), 0);
+  for (std::size_t i = 0; i < node_count(); ++i) {
+    for (std::size_t w = 0; w < descendants[i].size(); ++w) {
+      std::uint64_t word = descendants[i][w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        const std::size_t index = w * 64 + static_cast<std::size_t>(bit);
+        sums[i] += gate_delay(instructions_[index].kind, params);
+      }
+    }
+  }
+  return sums;
+}
+
+}  // namespace qspr

@@ -1,0 +1,87 @@
+// Quantum Instruction Dependency Graph (QIDG, paper §I) and its reversal,
+// the uncompute graph (UIDG, paper §IV.A).
+//
+// Nodes are gate-level instructions; there is an edge a -> b when b is the
+// next instruction touching one of a's operand qubits in program order. The
+// graph carries the ideal-timing analyses used by the scheduler (longest path
+// to sink, dependent counts) and by the ideal baseline of §V.A (critical path
+// with T_routing = T_congestion = 0).
+#pragma once
+
+#include <vector>
+
+#include "circuit/program.hpp"
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace qspr {
+
+class DependencyGraph {
+ public:
+  /// Builds the QIDG of `program` (per-qubit program-order chaining).
+  static DependencyGraph build(const Program& program);
+
+  [[nodiscard]] std::size_t node_count() const { return instructions_.size(); }
+  [[nodiscard]] std::size_t qubit_count() const { return qubit_count_; }
+
+  [[nodiscard]] const Instruction& instruction(InstructionId id) const;
+  [[nodiscard]] const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+
+  [[nodiscard]] const std::vector<InstructionId>& predecessors(
+      InstructionId id) const;
+  [[nodiscard]] const std::vector<InstructionId>& successors(
+      InstructionId id) const;
+
+  /// Nodes with no predecessors / successors.
+  [[nodiscard]] std::vector<InstructionId> sources() const;
+  [[nodiscard]] std::vector<InstructionId> sinks() const;
+
+  /// Deterministic Kahn order (ties broken by instruction id).
+  /// Throws ValidationError on cycles (cannot happen for built graphs).
+  [[nodiscard]] std::vector<InstructionId> topological_order() const;
+
+  /// The UIDG: every edge reversed and every gate replaced by its inverse.
+  /// Instruction ids are preserved, so a schedule for this graph can be
+  /// compared index-by-index with one for the forward graph.
+  [[nodiscard]] DependencyGraph reversed() const;
+
+  // --- Ideal-timing analyses (gate delays only, unlimited resources) ---
+
+  /// Earliest start time of each instruction.
+  [[nodiscard]] std::vector<TimePoint> asap_start_times(
+      const TechnologyParams& params) const;
+
+  /// Latest start time of each instruction given the critical-path deadline.
+  [[nodiscard]] std::vector<TimePoint> alap_start_times(
+      const TechnologyParams& params) const;
+
+  /// Total latency of the ideal schedule — the paper's baseline lower bound.
+  [[nodiscard]] Duration critical_path_latency(
+      const TechnologyParams& params) const;
+
+  /// For each instruction, the longest-path delay from its start through the
+  /// end of the graph (its own delay included). This is the second term of
+  /// the QSPR scheduling priority (§III).
+  [[nodiscard]] std::vector<Duration> longest_path_to_sink(
+      const TechnologyParams& params) const;
+
+  /// For each instruction, the number of instructions that transitively
+  /// depend on it — the first term of the QSPR scheduling priority (§III)
+  /// and QPOS's initial priority (§I).
+  [[nodiscard]] std::vector<int> descendant_counts() const;
+
+  /// For each instruction, the summed gate delay of all its transitive
+  /// dependents — the priority tweak of reference [5] (§I).
+  [[nodiscard]] std::vector<Duration> descendant_delay_sums(
+      const TechnologyParams& params) const;
+
+ private:
+  std::vector<Instruction> instructions_;
+  std::vector<std::vector<InstructionId>> preds_;
+  std::vector<std::vector<InstructionId>> succs_;
+  std::size_t qubit_count_ = 0;
+};
+
+}  // namespace qspr

@@ -1,0 +1,38 @@
+#include "circuit/dot.hpp"
+
+#include <sstream>
+
+namespace qspr {
+
+namespace {
+
+std::string operand_name(const Program* program, QubitId qubit) {
+  if (program != nullptr) return program->qubit(qubit).name;
+  return "q" + std::to_string(qubit.value());
+}
+
+}  // namespace
+
+std::string to_dot(const DependencyGraph& graph, const Program* program) {
+  std::ostringstream os;
+  os << "digraph qidg {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const Instruction& instr : graph.instructions()) {
+    os << "  n" << instr.id.value() << " [label=\"" << mnemonic(instr.kind);
+    if (instr.is_two_qubit()) {
+      os << ' ' << operand_name(program, instr.control) << ','
+         << operand_name(program, instr.target);
+    } else {
+      os << ' ' << operand_name(program, instr.target);
+    }
+    os << "\"];\n";
+  }
+  for (const Instruction& instr : graph.instructions()) {
+    for (const InstructionId succ : graph.successors(instr.id)) {
+      os << "  n" << instr.id.value() << " -> n" << succ.value() << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qspr

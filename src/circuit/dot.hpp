@@ -1,0 +1,16 @@
+// Graphviz export of dependency graphs, for documentation and debugging.
+#pragma once
+
+#include <string>
+
+#include "circuit/dependency_graph.hpp"
+#include "circuit/program.hpp"
+
+namespace qspr {
+
+/// Renders the graph in DOT format. Node labels show the gate mnemonic and
+/// operand indices (or names when `program` is supplied).
+std::string to_dot(const DependencyGraph& graph,
+                   const Program* program = nullptr);
+
+}  // namespace qspr

@@ -1,0 +1,59 @@
+#include "circuit/gate.hpp"
+
+namespace qspr {
+
+int arity(GateKind kind) {
+  switch (kind) {
+    case GateKind::H:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::Measure:
+      return 1;
+    case GateKind::CX:
+    case GateKind::CY:
+    case GateKind::CZ:
+    case GateKind::Swap:
+      return 2;
+  }
+  return 1;  // unreachable
+}
+
+GateKind inverse_of(GateKind kind) {
+  switch (kind) {
+    case GateKind::S: return GateKind::Sdg;
+    case GateKind::Sdg: return GateKind::S;
+    case GateKind::T: return GateKind::Tdg;
+    case GateKind::Tdg: return GateKind::T;
+    default: return kind;  // H, Paulis, controlled-Paulis, SWAP, Measure
+  }
+}
+
+std::string_view mnemonic(GateKind kind) {
+  switch (kind) {
+    case GateKind::H: return "H";
+    case GateKind::X: return "X";
+    case GateKind::Y: return "Y";
+    case GateKind::Z: return "Z";
+    case GateKind::S: return "S";
+    case GateKind::Sdg: return "SDG";
+    case GateKind::T: return "T";
+    case GateKind::Tdg: return "TDG";
+    case GateKind::Measure: return "MEASURE";
+    case GateKind::CX: return "C-X";
+    case GateKind::CY: return "C-Y";
+    case GateKind::CZ: return "C-Z";
+    case GateKind::Swap: return "SWAP";
+  }
+  return "?";
+}
+
+Duration gate_delay(GateKind kind, const TechnologyParams& params) {
+  return is_two_qubit(kind) ? params.t_gate_2q : params.t_gate_1q;
+}
+
+}  // namespace qspr

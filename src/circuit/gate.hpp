@@ -1,0 +1,55 @@
+// Gate alphabet of the QASM dialect used by the paper (Fig. 3): Hadamard and
+// Pauli 1-qubit gates, the phase gates S/T and their adjoints, measurement,
+// and the controlled-Pauli / SWAP 2-qubit gates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/time.hpp"
+
+namespace qspr {
+
+enum class GateKind : std::uint8_t {
+  // 1-qubit operations.
+  H,
+  X,
+  Y,
+  Z,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  Measure,
+  // 2-qubit operations (first operand = control/source, second = target/destination).
+  CX,
+  CY,
+  CZ,
+  Swap,
+};
+
+/// Number of qubit operands (1 or 2).
+[[nodiscard]] int arity(GateKind kind);
+
+[[nodiscard]] inline bool is_two_qubit(GateKind kind) {
+  return arity(kind) == 2;
+}
+
+[[nodiscard]] inline bool is_one_qubit(GateKind kind) {
+  return arity(kind) == 1;
+}
+
+/// The inverse gate, used to build the uncompute graph (UIDG, paper §IV.A).
+/// All gates in the alphabet are self-inverse except S/T (-> Sdg/Tdg).
+/// Measurement is not unitary; it maps to itself and callers that build a
+/// UIDG for measured circuits must treat the result as schedule-shape only.
+[[nodiscard]] GateKind inverse_of(GateKind kind);
+
+/// Canonical QASM mnemonic, e.g. "C-X" for GateKind::CX.
+[[nodiscard]] std::string_view mnemonic(GateKind kind);
+
+/// Execution latency of the gate's trap operation under `params`
+/// (T_1-qubit or T_2-qubit; measurement counts as a 1-qubit operation).
+[[nodiscard]] Duration gate_delay(GateKind kind, const TechnologyParams& params);
+
+}  // namespace qspr

@@ -1,0 +1,98 @@
+#include "circuit/program.hpp"
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+std::vector<QubitId> Instruction::operands() const {
+  if (control.is_valid()) return {control, target};
+  return {target};
+}
+
+QubitId Program::add_qubit(std::string qubit_name,
+                           std::optional<int> init_value) {
+  require(!qubit_name.empty(), "qubit name must be non-empty");
+  if (find_qubit(qubit_name).is_valid()) {
+    throw ValidationError("duplicate qubit declaration: " + qubit_name);
+  }
+  if (init_value.has_value() && *init_value != 0 && *init_value != 1) {
+    throw ValidationError("qubit init value must be 0 or 1: " + qubit_name);
+  }
+  qubits_.push_back(QubitDecl{std::move(qubit_name), init_value});
+  return QubitId::from_index(qubits_.size() - 1);
+}
+
+InstructionId Program::add_gate(GateKind kind, QubitId target) {
+  require(is_one_qubit(kind), "1-qubit overload used with a 2-qubit gate");
+  require(target.is_valid() && target.index() < qubits_.size(),
+          "gate target out of range");
+  const auto id = InstructionId::from_index(instructions_.size());
+  instructions_.push_back(Instruction{id, kind, QubitId::invalid(), target});
+  return id;
+}
+
+InstructionId Program::add_gate(GateKind kind, QubitId control,
+                                QubitId target) {
+  require(qspr::is_two_qubit(kind), "2-qubit overload used with a 1-qubit gate");
+  require(control.is_valid() && control.index() < qubits_.size(),
+          "gate control out of range");
+  require(target.is_valid() && target.index() < qubits_.size(),
+          "gate target out of range");
+  if (control == target) {
+    throw ValidationError("2-qubit gate with identical operands");
+  }
+  const auto id = InstructionId::from_index(instructions_.size());
+  instructions_.push_back(Instruction{id, kind, control, target});
+  return id;
+}
+
+const QubitDecl& Program::qubit(QubitId id) const {
+  require(id.is_valid() && id.index() < qubits_.size(), "qubit id out of range");
+  return qubits_[id.index()];
+}
+
+QubitId Program::find_qubit(std::string_view qubit_name) const {
+  for (std::size_t i = 0; i < qubits_.size(); ++i) {
+    if (qubits_[i].name == qubit_name) return QubitId::from_index(i);
+  }
+  return QubitId::invalid();
+}
+
+const Instruction& Program::instruction(InstructionId id) const {
+  require(id.is_valid() && id.index() < instructions_.size(),
+          "instruction id out of range");
+  return instructions_[id.index()];
+}
+
+std::size_t Program::one_qubit_gate_count() const {
+  std::size_t count = 0;
+  for (const auto& instr : instructions_) {
+    if (!instr.is_two_qubit()) ++count;
+  }
+  return count;
+}
+
+std::size_t Program::two_qubit_gate_count() const {
+  return instructions_.size() - one_qubit_gate_count();
+}
+
+void Program::validate() const {
+  for (const auto& instr : instructions_) {
+    if (!instr.target.is_valid() || instr.target.index() >= qubits_.size()) {
+      throw ValidationError("instruction references undeclared target qubit");
+    }
+    if (instr.is_two_qubit()) {
+      if (!instr.control.is_valid() ||
+          instr.control.index() >= qubits_.size()) {
+        throw ValidationError("instruction references undeclared control qubit");
+      }
+      if (instr.control == instr.target) {
+        throw ValidationError("2-qubit gate with identical operands");
+      }
+    } else if (instr.control.is_valid()) {
+      throw ValidationError("1-qubit gate carries a control operand");
+    }
+  }
+}
+
+}  // namespace qspr

@@ -1,0 +1,90 @@
+// In-memory representation of a quantum program: the declared qubits plus an
+// ordered list of gate instructions. This is the mapper's input IR, produced
+// by the QASM parser (or programmatically, e.g. by the QECC generators).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/ids.hpp"
+
+namespace qspr {
+
+/// A declared qubit. `init_value` mirrors the QASM `QUBIT name,0` form: the
+/// paper's encoder ancillae are initialised to |0>, while the data qubit is
+/// declared without an initial value.
+struct QubitDecl {
+  std::string name;
+  std::optional<int> init_value;
+};
+
+/// One gate-level instruction. For 2-qubit gates, `control` is the paper's
+/// "source" operand and `target` the "destination". For 1-qubit gates only
+/// `target` is used.
+struct Instruction {
+  InstructionId id;
+  GateKind kind = GateKind::H;
+  QubitId control;  // invalid for 1-qubit gates
+  QubitId target;
+
+  [[nodiscard]] bool is_two_qubit() const { return qspr::is_two_qubit(kind); }
+
+  /// The qubits this instruction touches (1 or 2 entries).
+  [[nodiscard]] std::vector<QubitId> operands() const;
+
+  /// True if the instruction acts on `qubit`.
+  [[nodiscard]] bool uses(QubitId qubit) const {
+    return target == qubit || (control.is_valid() && control == qubit);
+  }
+};
+
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  /// Declares a qubit; names must be unique and non-empty.
+  QubitId add_qubit(std::string qubit_name,
+                    std::optional<int> init_value = std::nullopt);
+
+  /// Appends a 1-qubit gate.
+  InstructionId add_gate(GateKind kind, QubitId target);
+
+  /// Appends a 2-qubit gate (control = source, target = destination).
+  InstructionId add_gate(GateKind kind, QubitId control, QubitId target);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] std::size_t qubit_count() const { return qubits_.size(); }
+  [[nodiscard]] const QubitDecl& qubit(QubitId id) const;
+  [[nodiscard]] const std::vector<QubitDecl>& qubits() const { return qubits_; }
+
+  /// Looks a qubit up by name; returns an invalid id when absent.
+  [[nodiscard]] QubitId find_qubit(std::string_view qubit_name) const;
+
+  [[nodiscard]] std::size_t instruction_count() const {
+    return instructions_.size();
+  }
+  [[nodiscard]] const Instruction& instruction(InstructionId id) const;
+  [[nodiscard]] const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+
+  [[nodiscard]] std::size_t one_qubit_gate_count() const;
+  [[nodiscard]] std::size_t two_qubit_gate_count() const;
+
+  /// Throws ValidationError if any instruction references an undeclared qubit
+  /// or a 2-qubit gate has identical operands.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<QubitDecl> qubits_;
+  std::vector<Instruction> instructions_;
+};
+
+}  // namespace qspr

@@ -1,0 +1,105 @@
+#include "circuit/transform.hpp"
+
+#include <vector>
+
+namespace qspr {
+
+namespace {
+
+/// Copies the qubit declarations of `source` into a fresh program.
+Program clone_declarations(const Program& source, const std::string& suffix) {
+  Program result(source.name().empty() ? "" : source.name() + suffix);
+  for (const QubitDecl& qubit : source.qubits()) {
+    result.add_qubit(qubit.name, qubit.init_value);
+  }
+  return result;
+}
+
+void append(Program& program, const Instruction& instr) {
+  if (instr.is_two_qubit()) {
+    program.add_gate(instr.kind, instr.control, instr.target);
+  } else {
+    program.add_gate(instr.kind, instr.target);
+  }
+}
+
+/// True when `a` followed by `b` is an identity: b is a's inverse on the
+/// same operands (for 2-qubit gates the operand order must match, except for
+/// the symmetric CZ and SWAP).
+bool cancels(const Instruction& a, const Instruction& b) {
+  if (a.kind == GateKind::Measure || b.kind == GateKind::Measure) return false;
+  if (inverse_of(a.kind) != b.kind) return false;
+  if (a.is_two_qubit() != b.is_two_qubit()) return false;
+  if (!a.is_two_qubit()) return a.target == b.target;
+  if (a.control == b.control && a.target == b.target) return true;
+  const bool symmetric =
+      a.kind == GateKind::CZ || a.kind == GateKind::Swap;
+  return symmetric && a.control == b.target && a.target == b.control;
+}
+
+}  // namespace
+
+Program decompose_swaps(const Program& program) {
+  Program result = clone_declarations(program, "");
+  for (const Instruction& instr : program.instructions()) {
+    if (instr.kind == GateKind::Swap) {
+      result.add_gate(GateKind::CX, instr.control, instr.target);
+      result.add_gate(GateKind::CX, instr.target, instr.control);
+      result.add_gate(GateKind::CX, instr.control, instr.target);
+    } else {
+      append(result, instr);
+    }
+  }
+  return result;
+}
+
+Program cancel_adjacent_inverses(const Program& program) {
+  // Work on a simple instruction list; repeat until no pair cancels.
+  std::vector<Instruction> instructions = program.instructions();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < instructions.size() && !changed; ++i) {
+      const Instruction& a = instructions[i];
+      // Find the next instruction touching any of a's operands.
+      for (std::size_t j = i + 1; j < instructions.size(); ++j) {
+        const Instruction& b = instructions[j];
+        const bool touches = b.uses(a.target) ||
+                             (a.control.is_valid() && b.uses(a.control));
+        if (!touches) continue;
+        // b is the next user of a's operands. It must use exactly the same
+        // operand set to cancel (a partial overlap blocks cancellation).
+        if (cancels(a, b)) {
+          const bool same_operands =
+              a.is_two_qubit()
+                  ? (b.uses(a.control) && b.uses(a.target))
+                  : (!b.is_two_qubit() && b.target == a.target);
+          if (same_operands) {
+            instructions.erase(instructions.begin() +
+                               static_cast<std::ptrdiff_t>(j));
+            instructions.erase(instructions.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+            changed = true;
+          }
+        }
+        break;  // only the immediately-next user can cancel
+      }
+    }
+  }
+  Program result = clone_declarations(program, "");
+  for (const Instruction& instr : instructions) append(result, instr);
+  return result;
+}
+
+Program uncompute_program(const Program& program) {
+  Program result = clone_declarations(program, "-uncompute");
+  const auto& instructions = program.instructions();
+  for (auto it = instructions.rbegin(); it != instructions.rend(); ++it) {
+    Instruction inverted = *it;
+    inverted.kind = inverse_of(it->kind);
+    append(result, inverted);
+  }
+  return result;
+}
+
+}  // namespace qspr

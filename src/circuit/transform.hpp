@@ -1,0 +1,32 @@
+// Circuit transformation passes — the small synthesis-side utilities of the
+// CAD flow (paper Fig. 1) that sit between the synthesizer and the mapper:
+//
+//  * decompose_swaps      — SWAP -> CX a,b; CX b,a; CX a,b (the mapper's trap
+//                           operations are 1- and 2-qubit controlled gates).
+//  * cancel_adjacent_inverses — peephole removal of gate pairs g, g^-1 acting
+//                           on identical operands with no interposed use.
+//  * uncompute_program    — the program whose QIDG is the UIDG (§IV.A):
+//                           reversed instruction order, inverted gates.
+#pragma once
+
+#include "circuit/program.hpp"
+
+namespace qspr {
+
+/// Rewrites every SWAP into the standard 3-CX identity. Other instructions
+/// are copied unchanged; qubit declarations are preserved.
+Program decompose_swaps(const Program& program);
+
+/// Removes adjacent inverse pairs (e.g. H q; H q or S q; SDG q or
+/// C-X a,b; C-X a,b) when no intervening instruction touches the operands.
+/// Iterates to a fixed point, so chains like H H H H vanish entirely.
+/// Measurement is never cancelled (it is not unitary).
+Program cancel_adjacent_inverses(const Program& program);
+
+/// Builds the uncompute program: instructions in reverse order with each
+/// gate replaced by its inverse. uncompute(uncompute(p)) == p for
+/// measurement-free programs. DependencyGraph::build(uncompute_program(p))
+/// equals DependencyGraph::build(p).reversed().
+Program uncompute_program(const Program& program);
+
+}  // namespace qspr

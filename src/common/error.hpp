@@ -1,0 +1,62 @@
+// Error taxonomy. Library code reports failures by throwing one of these;
+// it never terminates the process. Internal invariant violations use
+// `require`, user-input problems use the specific subclasses.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace qspr {
+
+/// Base class of all qspr errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed QASM or fabric text input.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& message, int line, int column)
+      : Error(message + " (line " + std::to_string(line) + ", column " +
+              std::to_string(column) + ")"),
+        line_(line),
+        column_(column) {}
+
+  [[nodiscard]] int line() const { return line_; }
+  [[nodiscard]] int column() const { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Structurally invalid model (fabric fails validation, circuit references
+/// undeclared qubits, placement puts two qubits in one trap, ...).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// No feasible route / target trap exists at all (not merely congested).
+class RoutingError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The event-driven simulator reached an inconsistent or stalled state.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws qspr::Error when `condition` is false. Used for preconditions and
+/// invariants whose violation indicates a bug in the caller, in a way that is
+/// active in all build types (these checks are never on hot paths' inner
+/// loops).
+inline void require(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace qspr

@@ -1,0 +1,45 @@
+#include "common/geometry.hpp"
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+Direction direction_between(Position a, Position b) {
+  require(are_adjacent(a, b), "direction_between requires adjacent cells");
+  if (b.row == a.row - 1) return Direction::North;
+  if (b.row == a.row + 1) return Direction::South;
+  if (b.col == a.col + 1) return Direction::East;
+  return Direction::West;
+}
+
+std::string to_string(Position p) {
+  return "(" + std::to_string(p.row) + "," + std::to_string(p.col) + ")";
+}
+
+std::string to_string(Direction d) {
+  switch (d) {
+    case Direction::North: return "N";
+    case Direction::East: return "E";
+    case Direction::South: return "S";
+    case Direction::West: return "W";
+  }
+  return "?";
+}
+
+std::string to_string(Orientation o) {
+  return o == Orientation::Horizontal ? "H" : "V";
+}
+
+std::ostream& operator<<(std::ostream& os, Position p) {
+  return os << to_string(p);
+}
+
+std::ostream& operator<<(std::ostream& os, Direction d) {
+  return os << to_string(d);
+}
+
+std::ostream& operator<<(std::ostream& os, Orientation o) {
+  return os << to_string(o);
+}
+
+}  // namespace qspr

@@ -1,0 +1,88 @@
+// Grid geometry: positions, directions and travel orientations on the
+// ion-trap fabric, which is a finite 2-D grid of unit cells (paper Fig. 4).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+namespace qspr {
+
+/// A cell coordinate on the fabric grid. Row 0 is the top row; column 0 is
+/// the leftmost column, matching the textual fabric rendering.
+struct Position {
+  int row = 0;
+  int col = 0;
+
+  friend constexpr auto operator<=>(const Position&, const Position&) = default;
+};
+
+/// The four cardinal movement directions on the grid.
+enum class Direction : std::uint8_t { North, East, South, West };
+
+/// Travel axis of a qubit inside a channel. Turning at a junction switches
+/// the orientation and costs the (large) turn delay.
+enum class Orientation : std::uint8_t { Horizontal, Vertical };
+
+inline constexpr std::array<Direction, 4> kAllDirections = {
+    Direction::North, Direction::East, Direction::South, Direction::West};
+
+inline constexpr std::array<Orientation, 2> kAllOrientations = {
+    Orientation::Horizontal, Orientation::Vertical};
+
+/// The axis a given direction travels along.
+constexpr Orientation axis_of(Direction d) {
+  return (d == Direction::East || d == Direction::West)
+             ? Orientation::Horizontal
+             : Orientation::Vertical;
+}
+
+constexpr Orientation perpendicular(Orientation o) {
+  return o == Orientation::Horizontal ? Orientation::Vertical
+                                      : Orientation::Horizontal;
+}
+
+constexpr Direction opposite(Direction d) {
+  switch (d) {
+    case Direction::North: return Direction::South;
+    case Direction::East: return Direction::West;
+    case Direction::South: return Direction::North;
+    case Direction::West: return Direction::East;
+  }
+  return Direction::North;  // unreachable
+}
+
+/// The neighbouring cell one step in direction `d`.
+constexpr Position step(Position p, Direction d) {
+  switch (d) {
+    case Direction::North: return {p.row - 1, p.col};
+    case Direction::East: return {p.row, p.col + 1};
+    case Direction::South: return {p.row + 1, p.col};
+    case Direction::West: return {p.row, p.col - 1};
+  }
+  return p;  // unreachable
+}
+
+constexpr int manhattan_distance(Position a, Position b) {
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+constexpr bool are_adjacent(Position a, Position b) {
+  return manhattan_distance(a, b) == 1;
+}
+
+/// Direction from `a` to the 4-adjacent cell `b`. Precondition: adjacent.
+Direction direction_between(Position a, Position b);
+
+std::string to_string(Position p);
+std::string to_string(Direction d);
+std::string to_string(Orientation o);
+
+std::ostream& operator<<(std::ostream& os, Position p);
+std::ostream& operator<<(std::ostream& os, Direction d);
+std::ostream& operator<<(std::ostream& os, Orientation o);
+
+}  // namespace qspr

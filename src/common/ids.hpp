@@ -1,0 +1,75 @@
+// Strong identifier types.
+//
+// Every entity in the mapper (qubit, instruction, trap, channel segment,
+// routing-graph vertex, ...) is referenced by a dense integer index into some
+// owning container. Raw integers invite silent cross-domain mix-ups (passing a
+// trap index where a qubit index is expected), so each domain gets its own
+// tag-parameterized wrapper with no implicit conversions.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace qspr {
+
+/// A strongly-typed, dense integer identifier. `Tag` only disambiguates the
+/// type; it is never instantiated. A default-constructed Id is invalid.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int32_t;
+
+  constexpr Id() = default;
+  explicit constexpr Id(underlying_type value) : value_(value) {}
+  /// Convenience factory for size_t indices coming from container loops.
+  static constexpr Id from_index(std::size_t index) {
+    return Id(static_cast<underlying_type>(index));
+  }
+  static constexpr Id invalid() { return Id(); }
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool is_valid() const { return value_ >= 0; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  underlying_type value_ = -1;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  if (!id.is_valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+/// Index of a program qubit (order of QUBIT declaration in the QASM file).
+using QubitId = Id<struct QubitIdTag>;
+/// Index of an instruction in a quantum program / QIDG node.
+using InstructionId = Id<struct InstructionIdTag>;
+/// Index of a trap site on the fabric.
+using TrapId = Id<struct TrapIdTag>;
+/// Index of a junction cell on the fabric.
+using JunctionId = Id<struct JunctionIdTag>;
+/// Index of a maximal straight channel segment between junctions/dead-ends.
+using SegmentId = Id<struct SegmentIdTag>;
+/// Index of a vertex in the routing graph (orientation-split).
+using RouteNodeId = Id<struct RouteNodeIdTag>;
+/// Index of an edge in the routing graph.
+using RouteEdgeId = Id<struct RouteEdgeIdTag>;
+
+}  // namespace qspr
+
+namespace std {
+template <typename Tag>
+struct hash<qspr::Id<Tag>> {
+  size_t operator()(qspr::Id<Tag> id) const noexcept {
+    return std::hash<typename qspr::Id<Tag>::underlying_type>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,21 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+int Rng::uniform_int(int lo, int hi) {
+  require(lo <= hi, "uniform_int requires lo <= hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  require(n > 0, "uniform_index requires n > 0");
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::uniform_real() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+}  // namespace qspr

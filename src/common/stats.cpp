@@ -1,0 +1,27 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace qspr {
+
+void RunningStats::add(double sample) {
+  ++count_;
+  sum_ += sample;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+  if (sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+}
+
+double RunningStats::min() const { return count_ > 0 ? min_ : 0.0; }
+
+double RunningStats::max() const { return count_ > 0 ? max_ : 0.0; }
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace qspr

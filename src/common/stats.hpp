@@ -1,0 +1,31 @@
+// Streaming statistics accumulator (Welford) used by benches and the
+// simulator's per-resource utilisation reports.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace qspr {
+
+class RunningStats {
+ public:
+  void add(double sample);
+
+  [[nodiscard]] std::int64_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace qspr

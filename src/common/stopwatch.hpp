@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the CPU-runtime columns of Table 1.
+#pragma once
+
+#include <chrono>
+
+namespace qspr {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  [[nodiscard]] double elapsed_seconds() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qspr

@@ -1,0 +1,33 @@
+// Small string helpers shared by the QASM and fabric text parsers and the
+// report writers. Kept deliberately minimal; no locale dependence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qspr {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Splits on `separator`, keeping empty fields.
+std::vector<std::string_view> split(std::string_view text, char separator);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// ASCII upper-case copy.
+std::string to_upper(std::string_view text);
+
+/// True if `text` parses fully as a (possibly negative) decimal integer.
+bool is_integer(std::string_view text);
+
+/// Parses a decimal integer; throws qspr::Error on malformed input.
+long long parse_integer(std::string_view text);
+
+}  // namespace qspr

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "table requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(),
+          "row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto rule = [&widths] {
+    std::string line = "+";
+    for (const std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  }();
+
+  const auto emit_row = [&](std::ostringstream& os,
+                            const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  os << rule;
+  emit_row(os, headers_);
+  os << rule;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (std::find(separators_.begin(), separators_.end(), r) !=
+        separators_.end()) {
+      os << rule;
+    }
+    emit_row(os, rows_[r]);
+  }
+  os << rule;
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(decimals);
+  os << value;
+  return os.str();
+}
+
+std::string format_percent(double part, double whole, int decimals) {
+  if (whole == 0.0) return "n/a";
+  return format_fixed(100.0 * part / whole, decimals) + "%";
+}
+
+}  // namespace qspr

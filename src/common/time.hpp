@@ -1,0 +1,60 @@
+// Time representation and the ion-trap technology parameters of paper §V.A.
+//
+// All delays are integral microseconds (the paper's parameters are exact
+// integers: T_move = 1 us, T_turn = 10 us, 1-qubit gate = 10 us, 2-qubit gate
+// = 100 us). Integer arithmetic keeps latency accounting exact and
+// platform-independent.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+/// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+/// An absolute simulated time, in microseconds since execution start.
+using TimePoint = std::int64_t;
+
+/// Sentinel "unreachable" cost. Kept far below the int64 maximum so that
+/// additions along a path cannot overflow.
+inline constexpr Duration kInfiniteDuration =
+    std::numeric_limits<Duration>::max() / 4;
+
+/// Physical machine description (PMD) parameters of the ion-trap fabric.
+/// Defaults are the experimental setup of paper §V.A.
+struct TechnologyParams {
+  /// Delay for a qubit to advance one cell without changing direction.
+  Duration t_move = 1;
+  /// Delay for a qubit to change its movement direction (5-30x t_move).
+  Duration t_turn = 10;
+  /// Latency of a 1-qubit gate operation in a trap.
+  Duration t_gate_1q = 10;
+  /// Latency of a 2-qubit gate operation in a trap.
+  Duration t_gate_2q = 100;
+  /// Maximum number of qubits concurrently inside one channel segment.
+  /// QSPR exploits ion multiplexing (capacity 2); prior art used 1.
+  int channel_capacity = 2;
+  /// Maximum number of qubits concurrently routed through one junction.
+  int junction_capacity = 2;
+  /// Maximum number of qubits co-resident in a trap (2-qubit gates need 2).
+  int trap_capacity = 2;
+
+  /// Throws ValidationError if any parameter is non-physical.
+  void validate() const {
+    if (t_move <= 0) throw ValidationError("t_move must be positive");
+    if (t_turn <= 0) throw ValidationError("t_turn must be positive");
+    if (t_gate_1q <= 0) throw ValidationError("t_gate_1q must be positive");
+    if (t_gate_2q <= 0) throw ValidationError("t_gate_2q must be positive");
+    if (channel_capacity < 1)
+      throw ValidationError("channel_capacity must be at least 1");
+    if (junction_capacity < 1)
+      throw ValidationError("junction_capacity must be at least 1");
+    if (trap_capacity < 2)
+      throw ValidationError("trap_capacity must be at least 2 (2-qubit gates)");
+  }
+};
+
+}  // namespace qspr

@@ -1,0 +1,78 @@
+#include "core/connectivity_placer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+std::vector<std::vector<int>> interaction_weights(const Program& program) {
+  const std::size_t n = program.qubit_count();
+  std::vector<std::vector<int>> weights(n, std::vector<int>(n, 0));
+  for (const Instruction& instr : program.instructions()) {
+    if (!instr.is_two_qubit()) continue;
+    ++weights[instr.control.index()][instr.target.index()];
+    ++weights[instr.target.index()][instr.control.index()];
+  }
+  return weights;
+}
+
+Placement connectivity_placement(const Fabric& fabric,
+                                 const Program& program) {
+  const std::size_t n = program.qubit_count();
+  if (fabric.trap_count() < n) {
+    throw ValidationError("fabric has fewer traps than circuit qubits");
+  }
+  const auto weights = interaction_weights(program);
+
+  // Candidate traps: the n nearest-center sites (same pool as the center
+  // placer, so differences come from the assignment, not the region).
+  std::vector<TrapId> pool = fabric.traps_by_distance(fabric.center());
+  pool.resize(n);
+  std::vector<bool> taken(n, false);
+
+  // Qubit order: decreasing total interaction weight, ties by index.
+  std::vector<std::size_t> qubit_order(n);
+  std::iota(qubit_order.begin(), qubit_order.end(), 0);
+  std::vector<long long> degree(n, 0);
+  for (std::size_t q = 0; q < n; ++q) {
+    degree[q] = std::accumulate(weights[q].begin(), weights[q].end(), 0LL);
+  }
+  std::sort(qubit_order.begin(), qubit_order.end(),
+            [&degree](std::size_t a, std::size_t b) {
+              if (degree[a] != degree[b]) return degree[a] > degree[b];
+              return a < b;
+            });
+
+  Placement placement(n);
+  for (const std::size_t q : qubit_order) {
+    long long best_cost = -1;
+    std::size_t best_slot = 0;
+    for (std::size_t slot = 0; slot < pool.size(); ++slot) {
+      if (taken[slot]) continue;
+      const Position candidate = fabric.trap(pool[slot]).position;
+      // Weighted distance to already-placed partners; the slot index breaks
+      // ties toward the fabric center.
+      long long cost = 0;
+      for (std::size_t other = 0; other < n; ++other) {
+        if (weights[q][other] == 0) continue;
+        const TrapId other_trap =
+            placement.trap_of(QubitId::from_index(other));
+        if (!other_trap.is_valid()) continue;
+        cost += static_cast<long long>(weights[q][other]) *
+                manhattan_distance(candidate,
+                                   fabric.trap(other_trap).position);
+      }
+      if (best_cost < 0 || cost < best_cost) {
+        best_cost = cost;
+        best_slot = slot;
+      }
+    }
+    taken[best_slot] = true;
+    placement.set(QubitId::from_index(q), pool[best_slot]);
+  }
+  return placement;
+}
+
+}  // namespace qspr

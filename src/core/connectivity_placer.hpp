@@ -1,0 +1,25 @@
+// Connectivity-driven placement — the "standard VLSI placement" strawman the
+// paper contrasts MVFB against (§IV.A: such placers "consider only node
+// connectivity ... in the given netlist" and ignore the schedule).
+//
+// Greedy construction: qubits are placed in decreasing order of interaction
+// weight (number of shared 2-qubit gates); each qubit takes the free
+// nearest-center trap that minimises its summed weighted Manhattan distance
+// to already-placed interaction partners. Deterministic.
+#pragma once
+
+#include "circuit/program.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/placement.hpp"
+
+namespace qspr {
+
+/// Builds the qubit interaction matrix: weight[i][j] = number of 2-qubit
+/// gates acting on qubits i and j.
+std::vector<std::vector<int>> interaction_weights(const Program& program);
+
+/// Greedy connectivity placement. Throws ValidationError when the fabric has
+/// fewer traps than qubits.
+Placement connectivity_placement(const Fabric& fabric, const Program& program);
+
+}  // namespace qspr

@@ -1,0 +1,62 @@
+#include "core/error_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+void ErrorModelParams::validate() const {
+  const auto is_probability = [](double p) { return p >= 0.0 && p < 1.0; };
+  if (!is_probability(error_1q_gate) || !is_probability(error_2q_gate) ||
+      !is_probability(error_move) || !is_probability(error_turn)) {
+    throw ValidationError("error probabilities must be in [0, 1)");
+  }
+  if (t2_us <= 0.0) throw ValidationError("T2 must be positive");
+}
+
+FidelityEstimate estimate_fidelity(const Trace& trace,
+                                   std::size_t qubit_count,
+                                   std::size_t two_qubit_gate_count,
+                                   const ErrorModelParams& params) {
+  params.validate();
+
+  FidelityEstimate estimate;
+  estimate.makespan = trace.makespan();
+  estimate.moves = trace.move_count();
+  estimate.turns = trace.turn_count();
+  const std::size_t total_gates = trace.gate_count();
+  require(two_qubit_gate_count <= total_gates,
+          "more 2-qubit gates than gate ops in the trace");
+  estimate.gates_2q = two_qubit_gate_count;
+  estimate.gates_1q = total_gates - two_qubit_gate_count;
+
+  // Work in log space: log P(survival) = sum log(1 - p_op).
+  double log_operations = 0.0;
+  log_operations += static_cast<double>(estimate.gates_1q) *
+                    std::log1p(-params.error_1q_gate);
+  log_operations += static_cast<double>(estimate.gates_2q) *
+                    std::log1p(-params.error_2q_gate);
+  log_operations +=
+      static_cast<double>(estimate.moves) * std::log1p(-params.error_move);
+  log_operations +=
+      static_cast<double>(estimate.turns) * std::log1p(-params.error_turn);
+  estimate.operation_fidelity = std::exp(log_operations);
+
+  // Idle decoherence: every qubit exists for the whole makespan.
+  const double log_decoherence =
+      -static_cast<double>(qubit_count) *
+      static_cast<double>(estimate.makespan) / params.t2_us;
+  estimate.decoherence_fidelity = std::exp(log_decoherence);
+
+  estimate.circuit_fidelity = std::exp(log_operations + log_decoherence);
+  return estimate;
+}
+
+double reliability_nines(const FidelityEstimate& estimate) {
+  const double failure = 1.0 - estimate.circuit_fidelity;
+  if (failure <= 0.0) return 16.0;  // beyond double precision
+  return -std::log10(failure);
+}
+
+}  // namespace qspr

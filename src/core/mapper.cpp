@@ -1,0 +1,151 @@
+#include "core/mapper.hpp"
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/mvfb.hpp"
+#include "core/placer.hpp"
+#include "route/routing_graph.hpp"
+
+namespace qspr {
+
+std::string to_string(MapperKind kind) {
+  switch (kind) {
+    case MapperKind::Qspr: return "QSPR";
+    case MapperKind::Quale: return "QUALE";
+    case MapperKind::Qpos: return "QPOS";
+    case MapperKind::IdealBaseline: return "Baseline";
+  }
+  return "?";
+}
+
+ExecutionOptions execution_options_for(const MapperOptions& options) {
+  ExecutionOptions exec;
+  exec.tech = options.tech;
+  switch (options.kind) {
+    case MapperKind::Qspr:
+    case MapperKind::IdealBaseline:
+      exec.router.turn_aware = true;
+      exec.dual_move = true;
+      break;
+    case MapperKind::Quale:
+      // Prior art: no turn modelling in path costs, destination fixed, no
+      // ion multiplexing in channels (§I), and QUALE's storage discipline
+      // (static placement: the visiting ion shuttles home after each gate).
+      exec.router.turn_aware = false;
+      exec.dual_move = false;
+      exec.tech.channel_capacity = 1;
+      exec.return_home_after_gate = true;
+      break;
+    case MapperKind::Qpos:
+      // QPOS improves on QUALE: the destination qubit stays where the gate
+      // executed ("the destination qubit is fixed in some trap while the
+      // source qubit is moved to reach the destination", §I).
+      exec.router.turn_aware = false;
+      exec.dual_move = false;
+      exec.tech.channel_capacity = 1;
+      break;
+  }
+  if (options.turn_aware.has_value()) exec.router.turn_aware = *options.turn_aware;
+  if (options.dual_move.has_value()) exec.dual_move = *options.dual_move;
+  if (options.return_home.has_value()) {
+    exec.return_home_after_gate = *options.return_home;
+  }
+  if (options.channel_capacity.has_value()) {
+    exec.tech.channel_capacity = *options.channel_capacity;
+  }
+  if (options.trap_selection.has_value()) {
+    exec.trap_selection = *options.trap_selection;
+  }
+  return exec;
+}
+
+ScheduleOptions schedule_options_for(const MapperOptions& options) {
+  ScheduleOptions sched;
+  sched.alpha = options.priority_alpha;
+  sched.beta = options.priority_beta;
+  switch (options.kind) {
+    case MapperKind::Qspr:
+    case MapperKind::IdealBaseline:
+      sched.policy = SchedulePolicy::QsprPriority;
+      break;
+    case MapperKind::Quale:
+      sched.policy = SchedulePolicy::Alap;
+      break;
+    case MapperKind::Qpos:
+      sched.policy = SchedulePolicy::AsapDependents;
+      break;
+  }
+  if (options.schedule_policy.has_value()) {
+    sched.policy = *options.schedule_policy;
+  }
+  return sched;
+}
+
+MapResult map_program(const Program& program, const Fabric& fabric,
+                      const MapperOptions& options) {
+  const Stopwatch stopwatch;
+  const DependencyGraph qidg = DependencyGraph::build(program);
+
+  MapResult result;
+  result.kind = options.kind;
+  result.ideal_latency = qidg.critical_path_latency(options.tech);
+
+  if (options.kind == MapperKind::IdealBaseline) {
+    result.latency = result.ideal_latency;
+    result.placement_runs = 0;
+    result.cpu_ms = stopwatch.elapsed_ms();
+    return result;
+  }
+
+  const RoutingGraph routing_graph(fabric);
+  const ExecutionOptions exec = execution_options_for(options);
+  const std::vector<int> rank =
+      make_schedule_rank(qidg, exec.tech, schedule_options_for(options));
+
+  const auto finish_single = [&](const Placement& initial,
+                                 ExecutionResult&& execution) {
+    result.latency = execution.latency;
+    result.trace = std::move(execution.trace);
+    result.initial_placement = initial;
+    result.final_placement = std::move(execution.final_placement);
+    result.stats = execution.stats;
+    result.timings = std::move(execution.timings);
+  };
+
+  if (options.kind != MapperKind::Qspr || options.placer == PlacerKind::Center) {
+    // Single-placement flows: QUALE / QPOS (center placement, §I) or a QSPR
+    // ablation with the center placer.
+    const Placement initial = center_placement(fabric, program.qubit_count());
+    ExecutionResult execution = execute_circuit(qidg, fabric, routing_graph,
+                                                rank, initial, exec);
+    finish_single(initial, std::move(execution));
+    result.placement_runs = 1;
+  } else if (options.placer == PlacerKind::MonteCarlo) {
+    MonteCarloResult mc = monte_carlo_place_and_execute(
+        qidg, fabric, routing_graph, rank, exec, options.monte_carlo_trials,
+        options.rng_seed);
+    finish_single(mc.best_initial_placement, std::move(mc.best_execution));
+    result.placement_runs = mc.trials;
+  } else {
+    MvfbPlacer placer(qidg, fabric, routing_graph, rank, exec,
+                      MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed});
+    MvfbResult mvfb = placer.place_and_execute();
+    result.latency = mvfb.best_latency;
+    result.trace = std::move(mvfb.best_trace);
+    result.initial_placement = std::move(mvfb.best_initial_placement);
+    // For a backward winner the reported (time-reversed) execution ends where
+    // the backward run began.
+    result.final_placement = mvfb.best_is_backward
+                                 ? mvfb.best_execution.initial_placement
+                                 : mvfb.best_execution.final_placement;
+    result.stats = mvfb.best_execution.stats;
+    result.timings = std::move(mvfb.best_execution.timings);
+    result.placement_runs = mvfb.total_runs;
+  }
+
+  result.cpu_ms = stopwatch.elapsed_ms();
+  return result;
+}
+
+}  // namespace qspr

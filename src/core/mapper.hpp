@@ -1,0 +1,86 @@
+// End-to-end mapper flows: the paper's QSPR tool and the re-implemented
+// prior-art baselines it is evaluated against (§I, §V).
+//
+//   Qspr          priority list scheduling (§III) + MVFB placement (§IV.A)
+//                 + turn-aware dual-qubit median routing with channel
+//                 multiplexing (§IV.B).
+//   Quale         ALAP scheduling, center placement, destination-fixed
+//                 routing, turn-unaware path costs, channel capacity 1.
+//   Qpos          ASAP scheduling prioritised by dependent count,
+//                 destination-fixed routing, turn-unaware, capacity 1.
+//   IdealBaseline T_routing = T_congestion = 0 lower bound (§V.A): the QIDG
+//                 critical path with gate delays only.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "circuit/program.hpp"
+#include "core/scheduler.hpp"
+#include "sim/event_sim.hpp"
+
+namespace qspr {
+
+enum class MapperKind : std::uint8_t { Qspr, Quale, Qpos, IdealBaseline };
+
+enum class PlacerKind : std::uint8_t { Mvfb, MonteCarlo, Center };
+
+struct MapperOptions {
+  MapperKind kind = MapperKind::Qspr;
+  /// Physical machine description; §V.A defaults.
+  TechnologyParams tech;
+  /// Weights of the QSPR scheduling priority (§III).
+  double priority_alpha = 1.0;
+  double priority_beta = 1.0;
+  /// Placement engine used by the QSPR flow.
+  PlacerKind placer = PlacerKind::Mvfb;
+  /// The paper's m (MVFB random seeds).
+  int mvfb_seeds = 100;
+  /// Trial budget when placer == MonteCarlo.
+  int monte_carlo_trials = 100;
+  std::uint64_t rng_seed = 1;
+
+  // --- Ablation overrides (nullopt = the mapper's published behaviour) ---
+  std::optional<bool> turn_aware;
+  std::optional<bool> dual_move;
+  std::optional<bool> return_home;
+  std::optional<int> channel_capacity;
+  std::optional<SchedulePolicy> schedule_policy;
+  /// Extension (not in the paper): congestion-aware target trap selection.
+  std::optional<TrapSelectionPolicy> trap_selection;
+};
+
+struct MapResult {
+  MapperKind kind = MapperKind::Qspr;
+  /// Total execution latency of the mapped circuit.
+  Duration latency = 0;
+  /// The ideal lower bound (critical path, gate delays only).
+  Duration ideal_latency = 0;
+  /// Control trace of the reported solution (empty for IdealBaseline).
+  Trace trace;
+  Placement initial_placement;
+  Placement final_placement;
+  ExecutionStats stats;
+  std::vector<InstructionTiming> timings;
+  /// Placement runs consumed (1 for single-placement flows).
+  int placement_runs = 1;
+  /// Wall-clock mapping time.
+  double cpu_ms = 0.0;
+};
+
+/// Maps `program` onto `fabric`. Throws ValidationError / SimulationError on
+/// impossible inputs (fabric too small, disconnected, ...).
+MapResult map_program(const Program& program, const Fabric& fabric,
+                      const MapperOptions& options = {});
+
+[[nodiscard]] std::string to_string(MapperKind kind);
+
+/// The execution options (routing/physics policy) a mapper kind implies,
+/// after applying the ablation overrides.
+[[nodiscard]] ExecutionOptions execution_options_for(
+    const MapperOptions& options);
+
+/// The schedule policy a mapper kind implies, after overrides.
+[[nodiscard]] ScheduleOptions schedule_options_for(const MapperOptions& options);
+
+}  // namespace qspr

@@ -1,0 +1,34 @@
+#include "core/monte_carlo.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/placer.hpp"
+
+namespace qspr {
+
+MonteCarloResult monte_carlo_place_and_execute(
+    const DependencyGraph& qidg, const Fabric& fabric,
+    const RoutingGraph& routing_graph, const std::vector<int>& rank,
+    const ExecutionOptions& exec_options, int trials,
+    std::uint64_t rng_seed) {
+  require(trials >= 1, "Monte Carlo placer needs at least one trial");
+  EventSimulator simulator(qidg, fabric, routing_graph, rank, exec_options);
+  Rng rng(rng_seed);
+
+  MonteCarloResult result;
+  for (int trial = 0; trial < trials; ++trial) {
+    Rng trial_rng = rng.fork();
+    const Placement placement =
+        random_center_placement(fabric, qidg.qubit_count(), trial_rng);
+    const ExecutionResult execution = simulator.run(placement);
+    ++result.trials;
+    if (execution.latency < result.best_latency) {
+      result.best_latency = execution.latency;
+      result.best_initial_placement = placement;
+      result.best_execution = execution;
+    }
+  }
+  return result;
+}
+
+}  // namespace qspr

@@ -1,0 +1,26 @@
+// The Monte Carlo placer of the paper's experimental setup (§V.A): m' random
+// center placements, each fully scheduled and routed; the lowest-latency one
+// wins. It is the budget-matched baseline MVFB is compared against in
+// Table 1.
+#pragma once
+
+#include "circuit/dependency_graph.hpp"
+#include "sim/event_sim.hpp"
+
+namespace qspr {
+
+struct MonteCarloResult {
+  Duration best_latency = kInfiniteDuration;
+  Placement best_initial_placement;
+  ExecutionResult best_execution;
+  int trials = 0;
+};
+
+/// Executes `trials` random center placements and keeps the best.
+/// Deterministic for a fixed rng_seed.
+MonteCarloResult monte_carlo_place_and_execute(
+    const DependencyGraph& qidg, const Fabric& fabric,
+    const RoutingGraph& routing_graph, const std::vector<int>& rank,
+    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed);
+
+}  // namespace qspr

@@ -1,0 +1,84 @@
+#include "core/mvfb.hpp"
+
+#include "core/placer.hpp"
+
+namespace qspr {
+
+MvfbPlacer::MvfbPlacer(const DependencyGraph& qidg, const Fabric& fabric,
+                       const RoutingGraph& routing_graph,
+                       std::vector<int> rank, ExecutionOptions exec_options,
+                       MvfbOptions options)
+    : qidg_(&qidg),
+      uidg_(qidg.reversed()),
+      fabric_(&fabric),
+      options_(options),
+      forward_sim_(qidg, fabric, routing_graph, rank, exec_options),
+      backward_sim_(uidg_, fabric, routing_graph, reversed_rank(rank),
+                    exec_options) {
+  require(options_.seeds >= 1, "MVFB needs at least one seed");
+  require(options_.stop_after >= 1, "MVFB stop_after must be positive");
+}
+
+bool MvfbPlacer::update_best(MvfbResult& result,
+                             const ExecutionResult& execution,
+                             bool is_backward) const {
+  if (execution.latency >= result.best_latency) return false;
+  result.best_latency = execution.latency;
+  result.best_is_backward = is_backward;
+  result.best_execution = execution;
+  if (is_backward) {
+    // §IV.A: a winning backward computation is reported as its reverse — a
+    // forward execution starting from the backward run's *final* placement.
+    result.best_initial_placement = execution.final_placement;
+    result.best_trace = execution.trace.time_reversed();
+  } else {
+    result.best_initial_placement = execution.initial_placement;
+    result.best_trace = execution.trace;
+  }
+  return true;
+}
+
+MvfbResult MvfbPlacer::place_and_execute() {
+  MvfbResult result;
+  Rng rng(options_.rng_seed);
+
+  for (int seed = 0; seed < options_.seeds; ++seed) {
+    Rng seed_rng = rng.fork();
+    Placement placement =
+        random_center_placement(*fabric_, qidg_->qubit_count(), seed_rng);
+    int non_improving = 0;
+    int runs_this_seed = 0;
+
+    while (non_improving < options_.stop_after &&
+           runs_this_seed < options_.max_runs_per_seed) {
+      // Forward placement run: QIDG in schedule order S.
+      const ExecutionResult forward = forward_sim_.run(placement);
+      ++result.total_runs;
+      ++runs_this_seed;
+      non_improving = update_best(result, forward, /*is_backward=*/false)
+                          ? 0
+                          : non_improving + 1;
+      if (non_improving >= options_.stop_after ||
+          runs_this_seed >= options_.max_runs_per_seed) {
+        break;
+      }
+
+      // Backward placement run: UIDG in reversed order S*, starting from the
+      // forward run's final placement.
+      const ExecutionResult backward =
+          backward_sim_.run(forward.final_placement);
+      ++result.total_runs;
+      ++runs_this_seed;
+      ++result.total_iterations;
+      non_improving = update_best(result, backward, /*is_backward=*/true)
+                          ? 0
+                          : non_improving + 1;
+
+      // The backward run's final placement seeds the next iteration.
+      placement = backward.final_placement;
+    }
+  }
+  return result;
+}
+
+}  // namespace qspr

@@ -1,0 +1,43 @@
+#include "core/placer.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+std::vector<TrapId> nearest_center_traps(const Fabric& fabric,
+                                         std::size_t qubit_count) {
+  if (fabric.trap_count() < qubit_count) {
+    throw ValidationError("fabric has fewer traps than circuit qubits");
+  }
+  std::vector<TrapId> traps = fabric.traps_by_distance(fabric.center());
+  traps.resize(qubit_count);
+  return traps;
+}
+
+}  // namespace
+
+Placement center_placement(const Fabric& fabric, std::size_t qubit_count) {
+  const std::vector<TrapId> traps = nearest_center_traps(fabric, qubit_count);
+  Placement placement(qubit_count);
+  for (std::size_t q = 0; q < qubit_count; ++q) {
+    placement.set(QubitId::from_index(q), traps[q]);
+  }
+  return placement;
+}
+
+Placement random_center_placement(const Fabric& fabric,
+                                  std::size_t qubit_count, Rng& rng) {
+  std::vector<TrapId> traps = nearest_center_traps(fabric, qubit_count);
+  rng.shuffle(traps);
+  Placement placement(qubit_count);
+  for (std::size_t q = 0; q < qubit_count; ++q) {
+    placement.set(QubitId::from_index(q), traps[q]);
+  }
+  return placement;
+}
+
+}  // namespace qspr

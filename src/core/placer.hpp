@@ -1,0 +1,25 @@
+// Initial placements (paper §I, §IV.A, §V.A).
+//
+// Center placement parks the qubits in the free traps nearest the fabric
+// center (QUALE's placer). Its randomised variant — a random permutation of
+// the qubits over those same nearest-center traps — seeds both the Monte
+// Carlo placer and each MVFB multi-start.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/placement.hpp"
+
+namespace qspr {
+
+/// Deterministic center placement: qubit k sits in the k-th nearest trap to
+/// the fabric center. Throws ValidationError when the fabric has fewer traps
+/// than qubits.
+Placement center_placement(const Fabric& fabric, std::size_t qubit_count);
+
+/// Random center placement: a uniformly random assignment of the qubits onto
+/// the `qubit_count` nearest-center traps.
+Placement random_center_placement(const Fabric& fabric,
+                                  std::size_t qubit_count, Rng& rng);
+
+}  // namespace qspr

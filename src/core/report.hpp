@@ -1,0 +1,29 @@
+// Full-text mapping report: everything a user wants to see after mapping a
+// circuit — the latency summary with Eq. 1 decomposition, per-instruction
+// timing table, channel-utilisation summary, execution Gantt chart and a
+// fidelity estimate. Used by the qspr_map CLI (--report) and by examples.
+#pragma once
+
+#include <string>
+
+#include "circuit/program.hpp"
+#include "core/error_model.hpp"
+#include "core/mapper.hpp"
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+struct ReportOptions {
+  bool include_timing_table = true;
+  bool include_utilization = true;
+  bool include_gantt = true;
+  bool include_fidelity = true;
+  ErrorModelParams error_model;
+};
+
+/// Renders a human-readable report of `result` (produced by map_program for
+/// `program` on `fabric`).
+std::string make_report(const MapResult& result, const Program& program,
+                        const Fabric& fabric, const ReportOptions& options = {});
+
+}  // namespace qspr

@@ -1,0 +1,94 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Converts a "higher priority value first" score into dense ranks.
+template <typename Score>
+std::vector<int> ranks_by_descending(const std::vector<Score>& score) {
+  std::vector<std::size_t> order(score.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&score](std::size_t a, std::size_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  });
+  std::vector<int> rank(score.size());
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    rank[order[position]] = static_cast<int>(position);
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::vector<int> make_schedule_rank(const DependencyGraph& graph,
+                                    const TechnologyParams& params,
+                                    const ScheduleOptions& options) {
+  const std::size_t n = graph.node_count();
+  switch (options.policy) {
+    case SchedulePolicy::QsprPriority: {
+      const std::vector<int> dependents = graph.descendant_counts();
+      const std::vector<Duration> longest = graph.longest_path_to_sink(params);
+      std::vector<double> score(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] = options.alpha * static_cast<double>(dependents[i]) +
+                   options.beta * static_cast<double>(longest[i]);
+      }
+      return ranks_by_descending(score);
+    }
+    case SchedulePolicy::Alap: {
+      const std::vector<TimePoint> alap = graph.alap_start_times(params);
+      std::vector<double> score(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] = -static_cast<double>(alap[i]);  // earlier deadline first
+      }
+      return ranks_by_descending(score);
+    }
+    case SchedulePolicy::AsapDependents: {
+      const std::vector<int> dependents = graph.descendant_counts();
+      std::vector<double> score(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] = static_cast<double>(dependents[i]);
+      }
+      return ranks_by_descending(score);
+    }
+    case SchedulePolicy::TotalDependentDelay: {
+      const std::vector<Duration> delays = graph.descendant_delay_sums(params);
+      std::vector<double> score(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        score[i] = static_cast<double>(delays[i]);
+      }
+      return ranks_by_descending(score);
+    }
+  }
+  throw Error("unknown schedule policy");
+}
+
+std::vector<InstructionId> schedule_order(const std::vector<int>& rank) {
+  std::vector<InstructionId> order(rank.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    require(rank[i] >= 0 && rank[i] < static_cast<int>(rank.size()),
+            "rank vector is not a permutation");
+    InstructionId& slot = order[static_cast<std::size_t>(rank[i])];
+    require(!slot.is_valid(), "rank vector contains duplicates");
+    slot = InstructionId::from_index(i);
+  }
+  return order;
+}
+
+std::vector<int> reversed_rank(const std::vector<int>& rank) {
+  const int n = static_cast<int>(rank.size());
+  std::vector<int> reversed(rank.size());
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    reversed[i] = n - 1 - rank[i];
+  }
+  return reversed;
+}
+
+}  // namespace qspr

@@ -1,0 +1,51 @@
+// Instruction scheduling (paper §III and the prior-art policies of §I).
+//
+// The scheduling problem is Minimum-Latency Resource-Constrained, with the
+// twist that instruction delays are only fully known after placement and
+// routing; the approach (shared by QSPR and the prior tools) is a dynamic
+// list schedule: among ready instructions, issue in a fixed priority order
+// and re-evaluate after each routed instruction. This module computes that
+// priority order ("rank": 0 issues first) for each policy:
+//
+//   QsprPriority — alpha * (# transitive dependents)
+//                + beta  * (longest path delay to the QIDG end), higher first.
+//   Alap         — as-late-as-possible start times, earlier first (QUALE).
+//   AsapDependents — # dependents as initial priority (QPOS).
+//   TotalDependentDelay — summed delay of dependents (ref. [5]'s QPOS tweak).
+#pragma once
+
+#include <vector>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/time.hpp"
+
+namespace qspr {
+
+enum class SchedulePolicy : std::uint8_t {
+  QsprPriority,
+  Alap,
+  AsapDependents,
+  TotalDependentDelay,
+};
+
+struct ScheduleOptions {
+  SchedulePolicy policy = SchedulePolicy::QsprPriority;
+  /// Weights of the QSPR linear combination (§III).
+  double alpha = 1.0;
+  double beta = 1.0;
+};
+
+/// Issue rank per instruction: lower rank = higher priority. Deterministic
+/// (ties broken by instruction id).
+std::vector<int> make_schedule_rank(const DependencyGraph& graph,
+                                    const TechnologyParams& params,
+                                    const ScheduleOptions& options = {});
+
+/// The total order S induced by a rank vector.
+std::vector<InstructionId> schedule_order(const std::vector<int>& rank);
+
+/// Rank realising the reversed total order S* (paper §IV.A), used when
+/// executing the UIDG backward.
+std::vector<int> reversed_rank(const std::vector<int>& rank);
+
+}  // namespace qspr

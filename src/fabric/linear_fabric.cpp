@@ -1,0 +1,34 @@
+#include "fabric/linear_fabric.hpp"
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+Fabric make_linear_fabric(int num_traps, int pitch) {
+  if (num_traps < 1) {
+    throw ValidationError("linear fabric needs at least one trap");
+  }
+  if (pitch < 2) {
+    throw ValidationError("linear fabric pitch must be at least 2");
+  }
+  const int rows = 2;
+  const int cols = num_traps * pitch + 1;
+  std::vector<CellType> cells(
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+      CellType::Empty);
+  const auto at = [&](int row, int col) -> CellType& {
+    return cells[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(col)];
+  };
+
+  for (int col = 0; col < cols; ++col) {
+    at(0, col) = col % pitch == 0 ? CellType::Junction : CellType::Channel;
+  }
+  for (int section = 0; section < num_traps; ++section) {
+    at(1, section * pitch + pitch / 2) = CellType::Trap;
+  }
+  return Fabric::from_cells(rows, cols, std::move(cells),
+                            "linear-" + std::to_string(num_traps));
+}
+
+}  // namespace qspr

@@ -1,0 +1,17 @@
+// Linear (QCCD-chain) fabric generator: a single horizontal transport
+// channel with junction-separated sections and one trap hanging below each
+// section — the minimal architecture of early ion-trap proposals
+// (Kielpinski et al., paper ref. [7]). Useful as a stress topology: every
+// route shares the one corridor, so congestion effects are maximal.
+#pragma once
+
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+/// Builds a 2-row fabric: `num_traps` sections of `pitch` cells along one
+/// horizontal channel, a junction between sections, and one trap below the
+/// middle of each section. Throws ValidationError on bad parameters.
+Fabric make_linear_fabric(int num_traps, int pitch = 4);
+
+}  // namespace qspr

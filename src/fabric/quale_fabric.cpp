@@ -1,0 +1,61 @@
+#include "fabric/quale_fabric.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+Fabric make_quale_fabric(const QualeFabricParams& params) {
+  if (params.junction_rows < 2 || params.junction_cols < 2) {
+    throw ValidationError("QUALE fabric needs at least a 2x2 junction lattice");
+  }
+  if (params.pitch < 2) {
+    throw ValidationError("QUALE fabric pitch must be at least 2");
+  }
+
+  const int rows = params.rows();
+  const int cols = params.cols();
+  const int pitch = params.pitch;
+  std::vector<CellType> cells(
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+      CellType::Empty);
+  const auto at = [&](int row, int col) -> CellType& {
+    return cells[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+                 static_cast<std::size_t>(col)];
+  };
+
+  // Junctions on the lattice; channels along every lattice line.
+  for (int row = 0; row < rows; ++row) {
+    for (int col = 0; col < cols; ++col) {
+      const bool on_row_line = row % pitch == 0;
+      const bool on_col_line = col % pitch == 0;
+      if (on_row_line && on_col_line) {
+        at(row, col) = CellType::Junction;
+      } else if (on_row_line || on_col_line) {
+        at(row, col) = CellType::Channel;
+      }
+    }
+  }
+
+  // Traps at the four interior corners of each tile (deduplicated for small
+  // pitches), each adjacent to one horizontal and one vertical channel cell.
+  for (int tile_row = 0; tile_row + 1 < params.junction_rows; ++tile_row) {
+    for (int tile_col = 0; tile_col + 1 < params.junction_cols; ++tile_col) {
+      const int base_row = tile_row * pitch;
+      const int base_col = tile_col * pitch;
+      const int offsets[2] = {1, pitch - 1};
+      for (const int dr : offsets) {
+        for (const int dc : offsets) {
+          at(base_row + dr, base_col + dc) = CellType::Trap;
+        }
+      }
+    }
+  }
+
+  return Fabric::from_cells(rows, cols, std::move(cells),
+                            "quale-" + std::to_string(rows) + "x" +
+                                std::to_string(cols));
+}
+
+}  // namespace qspr

@@ -1,0 +1,33 @@
+// Generator for QUALE-style regular fabrics (paper Fig. 4).
+//
+// The original 45x85 fabric file released with the QUALE package is no longer
+// available, so we reproduce its printed structure parametrically: junctions
+// on a `pitch`-spaced lattice, straight channels of `pitch - 1` cells between
+// adjacent junctions, and traps in the tile interiors adjacent to the
+// channels. The default parameters yield exactly a 45x85 grid with 12x22
+// junctions and 4 traps per tile (924 traps), matching the figure's scale.
+#pragma once
+
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+struct QualeFabricParams {
+  /// Number of junction rows / columns.
+  int junction_rows = 12;
+  int junction_cols = 22;
+  /// Lattice pitch in cells; channels between junctions have pitch-1 cells.
+  /// Must be >= 2. Pitch >= 3 places 4 traps per tile, pitch 2 places 1.
+  int pitch = 4;
+
+  [[nodiscard]] int rows() const { return (junction_rows - 1) * pitch + 1; }
+  [[nodiscard]] int cols() const { return (junction_cols - 1) * pitch + 1; }
+};
+
+/// Builds the parametric QUALE fabric. Throws ValidationError on bad params.
+Fabric make_quale_fabric(const QualeFabricParams& params = {});
+
+/// The paper's evaluation fabric: 45x85 cells (Fig. 4).
+inline Fabric make_paper_fabric() { return make_quale_fabric(); }
+
+}  // namespace qspr

@@ -1,0 +1,115 @@
+#include "fabric/text_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qspr {
+
+Fabric parse_fabric(std::string_view text, std::string name) {
+  std::vector<std::string> lines;
+  {
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+      std::size_t end = text.find('\n', begin);
+      if (end == std::string_view::npos) end = text.size();
+      std::string_view line = text.substr(begin, end - begin);
+      const std::size_t hash = line.find('#');
+      if (hash != std::string_view::npos) line = line.substr(0, hash);
+      // Trim only trailing whitespace: leading spaces are empty cells.
+      std::size_t last = line.size();
+      while (last > 0 && (line[last - 1] == ' ' || line[last - 1] == '\t' ||
+                          line[last - 1] == '\r')) {
+        --last;
+      }
+      lines.emplace_back(line.substr(0, last));
+      if (end == text.size()) break;
+      begin = end + 1;
+    }
+  }
+  // Drop leading/trailing blank lines.
+  while (!lines.empty() && lines.front().empty()) lines.erase(lines.begin());
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.empty()) throw ValidationError("fabric drawing is empty");
+
+  std::size_t width = 0;
+  for (const std::string& line : lines) width = std::max(width, line.size());
+
+  const int rows = static_cast<int>(lines.size());
+  const int cols = static_cast<int>(width);
+  std::vector<CellType> cells(
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+      CellType::Empty);
+  for (int row = 0; row < rows; ++row) {
+    const std::string& line = lines[static_cast<std::size_t>(row)];
+    for (int col = 0; col < static_cast<int>(line.size()); ++col) {
+      const char c = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(line[static_cast<std::size_t>(col)])));
+      CellType type = CellType::Empty;
+      switch (c) {
+        case 'J': type = CellType::Junction; break;
+        case 'T': type = CellType::Trap; break;
+        case 'C':
+        case '-':
+        case '|': type = CellType::Channel; break;
+        case '.':
+        case ' ': type = CellType::Empty; break;
+        default:
+          throw ParseError(std::string("unknown fabric cell character '") + c +
+                               "'",
+                           row + 1, col + 1);
+      }
+      cells[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols) +
+            static_cast<std::size_t>(col)] = type;
+    }
+  }
+  return Fabric::from_cells(rows, cols, std::move(cells), std::move(name));
+}
+
+Fabric parse_fabric_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw Error("cannot open fabric file: " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  return parse_fabric(buffer.str(), path);
+}
+
+std::string render_fabric(const Fabric& fabric) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(fabric.rows()) *
+              static_cast<std::size_t>(fabric.cols() + 1));
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      const Position p{row, col};
+      switch (fabric.cell(p)) {
+        case CellType::Empty: out += '.'; break;
+        case CellType::Junction: out += 'J'; break;
+        case CellType::Trap: out += 'T'; break;
+        case CellType::Channel: {
+          const SegmentId seg = fabric.segment_at(p);
+          out += fabric.segment(seg).orientation == Orientation::Horizontal
+                     ? '-'
+                     : '|';
+          break;
+        }
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string describe_fabric(const Fabric& fabric) {
+  std::ostringstream os;
+  os << (fabric.name().empty() ? "fabric" : fabric.name()) << ": "
+     << fabric.rows() << "x" << fabric.cols() << " cells, "
+     << fabric.junction_count() << " junctions, " << fabric.segment_count()
+     << " channel segments, " << fabric.trap_count() << " traps";
+  return os.str();
+}
+
+}  // namespace qspr

@@ -1,0 +1,33 @@
+// Textual fabric representation, so users with their own layouts (including
+// the original QUALE fabric file) can load them, and so tests can build small
+// fabrics inline.
+//
+// Legend (parsing is case-insensitive; '-' '|' 'c' all mean channel):
+//   J  junction        T  trap
+//   C  channel         .  or space: empty
+// Lines may carry '#' comments; trailing whitespace is ignored; short lines
+// are padded with empty cells to the widest line.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+/// Parses a fabric from its text drawing. Throws ParseError on unknown
+/// characters and ValidationError on structurally invalid layouts.
+Fabric parse_fabric(std::string_view text, std::string name = "");
+
+/// Reads and parses a fabric file.
+Fabric parse_fabric_file(const std::string& path);
+
+/// Renders the fabric: 'J', 'T', '-' / '|' for channels (by segment
+/// orientation), '.' for empty. parse_fabric(render_fabric(f)) == f.
+std::string render_fabric(const Fabric& fabric);
+
+/// One-line summary: dimensions and trap/junction/segment counts.
+std::string describe_fabric(const Fabric& fabric);
+
+}  // namespace qspr

@@ -1,0 +1,173 @@
+#include "qasm/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Strips `#` and `//` comments.
+std::string_view strip_comment(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  const std::size_t slashes = line.find("//");
+  if (slashes != std::string_view::npos) line = line.substr(0, slashes);
+  return line;
+}
+
+[[noreturn]] void fail(const std::string& message, int line_number) {
+  throw ParseError(message, line_number, 1);
+}
+
+QubitId resolve_qubit(const Program& program, std::string_view name,
+                      int line_number) {
+  const QubitId id = program.find_qubit(name);
+  if (!id.is_valid()) {
+    fail("reference to undeclared qubit '" + std::string(name) + "'",
+         line_number);
+  }
+  return id;
+}
+
+void parse_qubit_declaration(Program& program,
+                             const std::vector<std::string_view>& operands,
+                             int line_number) {
+  if (operands.empty() || operands.size() > 2) {
+    fail("QUBIT expects 'name' or 'name,init'", line_number);
+  }
+  const std::string_view name = trim(operands[0]);
+  if (name.empty()) fail("QUBIT with empty name", line_number);
+  std::optional<int> init;
+  if (operands.size() == 2) {
+    const std::string_view init_text = trim(operands[1]);
+    if (!is_integer(init_text)) {
+      fail("QUBIT init value must be an integer", line_number);
+    }
+    const long long value = parse_integer(init_text);
+    if (value != 0 && value != 1) {
+      fail("QUBIT init value must be 0 or 1", line_number);
+    }
+    init = static_cast<int>(value);
+  }
+  try {
+    program.add_qubit(std::string(name), init);
+  } catch (const ValidationError& e) {
+    fail(e.what(), line_number);
+  }
+}
+
+void parse_gate(Program& program, GateKind kind,
+                const std::vector<std::string_view>& operands,
+                int line_number) {
+  const int expected = arity(kind);
+  if (static_cast<int>(operands.size()) != expected) {
+    fail(std::string(mnemonic(kind)) + " expects " +
+             std::to_string(expected) + " operand(s), got " +
+             std::to_string(operands.size()),
+         line_number);
+  }
+  if (expected == 1) {
+    program.add_gate(kind, resolve_qubit(program, trim(operands[0]), line_number));
+    return;
+  }
+  const QubitId control = resolve_qubit(program, trim(operands[0]), line_number);
+  const QubitId target = resolve_qubit(program, trim(operands[1]), line_number);
+  if (control == target) {
+    fail("2-qubit gate with identical operands", line_number);
+  }
+  program.add_gate(kind, control, target);
+}
+
+}  // namespace
+
+std::optional<GateKind> gate_from_mnemonic(std::string_view word) {
+  const std::string upper = to_upper(word);
+  if (upper == "H") return GateKind::H;
+  if (upper == "X") return GateKind::X;
+  if (upper == "Y") return GateKind::Y;
+  if (upper == "Z") return GateKind::Z;
+  if (upper == "S") return GateKind::S;
+  if (upper == "SDG" || upper == "S-DG") return GateKind::Sdg;
+  if (upper == "T") return GateKind::T;
+  if (upper == "TDG" || upper == "T-DG") return GateKind::Tdg;
+  if (upper == "MEASURE" || upper == "M" || upper == "MEASZ") {
+    return GateKind::Measure;
+  }
+  if (upper == "C-X" || upper == "CX" || upper == "CNOT") return GateKind::CX;
+  if (upper == "C-Y" || upper == "CY") return GateKind::CY;
+  if (upper == "C-Z" || upper == "CZ") return GateKind::CZ;
+  if (upper == "SWAP") return GateKind::Swap;
+  return std::nullopt;
+}
+
+Program parse_qasm(std::string_view text, std::string program_name) {
+  Program program(std::move(program_name));
+  int line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    ++line_number;
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view raw = text.substr(begin, end - begin);
+    begin = end + 1;
+
+    const std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) {
+      if (end == text.size()) break;
+      continue;
+    }
+
+    // Mnemonic is the first whitespace-delimited word; the rest is a
+    // comma-separated operand list (whitespace around commas is ignored).
+    const std::size_t word_end = line.find_first_of(" \t");
+    const std::string_view word =
+        word_end == std::string_view::npos ? line : line.substr(0, word_end);
+    const std::string_view rest =
+        word_end == std::string_view::npos ? std::string_view{}
+                                           : trim(line.substr(word_end));
+
+    std::vector<std::string_view> operands;
+    if (!rest.empty()) {
+      for (const std::string_view field : split(rest, ',')) {
+        const std::string_view operand = trim(field);
+        if (operand.empty()) {
+          fail("empty operand in instruction", line_number);
+        }
+        operands.push_back(operand);
+      }
+    }
+
+    if (to_upper(word) == "QUBIT") {
+      parse_qubit_declaration(program, operands, line_number);
+      continue;
+    }
+    const std::optional<GateKind> kind = gate_from_mnemonic(word);
+    if (!kind.has_value()) {
+      fail("unknown instruction '" + std::string(word) + "'", line_number);
+    }
+    parse_gate(program, *kind, operands, line_number);
+
+    if (end == text.size()) break;
+  }
+  return program;
+}
+
+Program parse_qasm_file(const std::string& path) {
+  std::ifstream input(path);
+  if (!input) throw Error("cannot open QASM file: " + path);
+  std::ostringstream buffer;
+  buffer << input.rdbuf();
+  // Program name = file stem.
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return parse_qasm(buffer.str(), name);
+}
+
+}  // namespace qspr

@@ -1,0 +1,32 @@
+// Parser for the QASM dialect used by the paper (Fig. 3), which follows the
+// QUALE/MIT quantum assembly conventions:
+//
+//   QUBIT q0,0        # declare qubit q0 initialised to |0>
+//   QUBIT q3          # declare data qubit (no initial value)
+//   H q0              # 1-qubit gate
+//   C-X q3,q2         # 2-qubit gate: control q3 (source), target q2 (dest.)
+//
+// Mnemonics are case-insensitive and `#` / `//` start comments. Supported
+// gates: H X Y Z S SDG T TDG MEASURE (alias M) and C-X (CX, CNOT), C-Y (CY),
+// C-Z (CZ), SWAP.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "circuit/program.hpp"
+
+namespace qspr {
+
+/// Parses QASM text into a Program. Throws ParseError (with line/column) on
+/// malformed input, including gates referencing undeclared qubits.
+Program parse_qasm(std::string_view text, std::string program_name = "");
+
+/// Reads and parses a QASM file. Throws qspr::Error if unreadable.
+Program parse_qasm_file(const std::string& path);
+
+/// Maps a mnemonic (any case) to a gate kind; nullopt when unknown.
+std::optional<GateKind> gate_from_mnemonic(std::string_view word);
+
+}  // namespace qspr

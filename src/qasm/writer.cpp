@@ -1,0 +1,40 @@
+#include "qasm/writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+std::string write_qasm(const Program& program) {
+  std::ostringstream os;
+  if (!program.name().empty()) {
+    os << "# " << program.name() << "\n";
+  }
+  for (const QubitDecl& qubit : program.qubits()) {
+    os << "QUBIT " << qubit.name;
+    if (qubit.init_value.has_value()) os << ',' << *qubit.init_value;
+    os << '\n';
+  }
+  for (const Instruction& instr : program.instructions()) {
+    os << mnemonic(instr.kind) << ' ';
+    if (instr.is_two_qubit()) {
+      os << program.qubit(instr.control).name << ','
+         << program.qubit(instr.target).name;
+    } else {
+      os << program.qubit(instr.target).name;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_qasm_file(const Program& program, const std::string& path) {
+  std::ofstream output(path);
+  if (!output) throw Error("cannot open file for writing: " + path);
+  output << write_qasm(program);
+  if (!output) throw Error("failed writing QASM file: " + path);
+}
+
+}  // namespace qspr

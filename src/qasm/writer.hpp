@@ -1,0 +1,18 @@
+// QASM serialisation: the inverse of the parser, used for round-tripping the
+// generated QECC benchmarks to disk and for dumping programmatic circuits.
+#pragma once
+
+#include <string>
+
+#include "circuit/program.hpp"
+
+namespace qspr {
+
+/// Renders `program` in the paper's QASM dialect. Parsing the result yields
+/// an equivalent Program (same qubits, same instruction sequence).
+std::string write_qasm(const Program& program);
+
+/// Writes the QASM text to `path`. Throws qspr::Error on I/O failure.
+void write_qasm_file(const Program& program, const std::string& path);
+
+}  // namespace qspr

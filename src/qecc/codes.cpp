@@ -1,0 +1,212 @@
+#include "qecc/codes.hpp"
+
+#include "common/error.hpp"
+#include "qecc/cyclic_builder.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Declares qubits q0..q{n-1}. Ancillae are initialised to |0>; the data
+/// qubits (the code's k logical inputs) carry no initial value.
+std::vector<QubitId> declare_qubits(Program& program, int n,
+                                    const std::vector<int>& data_qubits) {
+  std::vector<QubitId> qubits;
+  qubits.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const bool is_data =
+        std::find(data_qubits.begin(), data_qubits.end(), i) !=
+        data_qubits.end();
+    qubits.push_back(program.add_qubit(
+        "q" + std::to_string(i),
+        is_data ? std::nullopt : std::optional<int>(0)));
+  }
+  return qubits;
+}
+
+/// [[5,1,3]] — the cyclic code of Fig. 2, with a depth-optimal gate order
+/// (critical path: H + 5 two-qubit layers = 510 us).
+Program make_5_1_3() {
+  Program program("[[5,1,3]]");
+  const auto q = declare_qubits(program, 5, {3});
+  for (const int h : {0, 1, 2, 4}) program.add_gate(GateKind::H, q[h]);
+  program.add_gate(GateKind::CX, q[3], q[2]);
+  program.add_gate(GateKind::CZ, q[4], q[2]);
+  program.add_gate(GateKind::CY, q[3], q[1]);
+  program.add_gate(GateKind::CY, q[2], q[1]);
+  program.add_gate(GateKind::CY, q[3], q[0]);
+  program.add_gate(GateKind::CX, q[4], q[1]);
+  program.add_gate(GateKind::CZ, q[2], q[0]);
+  program.add_gate(GateKind::CZ, q[4], q[0]);
+  return program;
+}
+
+/// [[7,1,3]] — Steane-style: three seed qubits fan CNOT cascades over the
+/// block in cyclic patterns; depth 5 (510 us).
+Program make_7_1_3() {
+  Program program("[[7,1,3]]");
+  const auto q = declare_qubits(program, 7, {0});
+  for (const int h : {4, 5, 6}) program.add_gate(GateKind::H, q[h]);
+  const int layers[4][3][2] = {
+      {{4, 0}, {5, 1}, {6, 2}},
+      {{4, 1}, {5, 2}, {6, 3}},
+      {{4, 2}, {5, 3}, {6, 0}},
+      {{4, 3}, {5, 0}, {6, 1}},
+  };
+  for (const auto& layer : layers) {
+    for (const auto& gate : layer) {
+      program.add_gate(GateKind::CX, q[gate[0]], q[gate[1]]);
+    }
+  }
+  program.add_gate(GateKind::CX, q[0], q[1]);
+  program.add_gate(GateKind::CX, q[2], q[3]);
+  return program;
+}
+
+/// [[9,1,3]] — a seeded 9-gate cyclic ring with chord lanes: H + 9 x 100 =
+/// 910 us.
+Program make_9_1_3() {
+  CyclicEncoderSpec spec;
+  spec.name = "[[9,1,3]]";
+  spec.qubits = 9;
+  spec.data_qubits = 1;
+  spec.chain_gates = 9;
+  spec.seed_hadamard = true;
+  return make_cyclic_encoder(spec);
+}
+
+/// [[14,8,3]] — 25 cyclically wrapped CNOTs form the 2500 us chain (the
+/// paper's baseline has no leading 1-qubit delay); chord lanes and Hadamards
+/// sit in slack.
+Program make_14_8_3() {
+  CyclicEncoderSpec spec;
+  spec.name = "[[14,8,3]]";
+  spec.qubits = 14;
+  spec.data_qubits = 8;
+  spec.chain_gates = 25;
+  spec.seed_hadamard = false;
+  spec.slack_hadamards = {1, 3, 5};
+  return make_cyclic_encoder(spec);
+}
+
+/// [[19,1,7]] — a seeded 25-gate cyclic cascade (H + 25 x 100 = 2510 us)
+/// with two parallel chord lanes.
+Program make_19_1_7() {
+  CyclicEncoderSpec spec;
+  spec.name = "[[19,1,7]]";
+  spec.qubits = 19;
+  spec.data_qubits = 1;
+  spec.chain_gates = 25;
+  spec.seed_hadamard = true;
+  spec.slack_hadamards = {2, 4};
+  return make_cyclic_encoder(spec);
+}
+
+/// [[23,1,7]] — Golay-code scale: a 14-deep main cascade (H + 14 x 100 =
+/// 1410 us) beside a parallel secondary cascade and stabiliser chords.
+Program make_23_1_7() {
+  Program program("[[23,1,7]]");
+  const auto q = declare_qubits(program, 23, {22});
+  program.add_gate(GateKind::H, q[0]);
+  program.add_gate(GateKind::H, q[15]);
+  // Main 14-gate chain over q0..q14 with CZ chords two behind the frontier.
+  for (int j = 0; j < 14; ++j) {
+    program.add_gate(GateKind::CX, q[static_cast<std::size_t>(j)],
+                     q[static_cast<std::size_t>(j + 1)]);
+    if (j >= 2 && j % 2 == 0 && j <= 12) {
+      program.add_gate(GateKind::CZ, q[static_cast<std::size_t>(j - 2)],
+                       q[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Secondary cascade over q15..q22.
+  for (int j = 15; j < 22; ++j) {
+    program.add_gate(GateKind::CX, q[static_cast<std::size_t>(j)],
+                     q[static_cast<std::size_t>(j + 1)]);
+    if (j == 18) {
+      program.add_gate(GateKind::CZ, q[16], q[18]);
+    }
+  }
+  // Cross-coupling between the cascades, placed in slack.
+  program.add_gate(GateKind::CZ, q[22], q[0]);
+  return program;
+}
+
+}  // namespace
+
+std::string code_name(QeccCode code) {
+  switch (code) {
+    case QeccCode::Q5_1_3: return "[[5,1,3]]";
+    case QeccCode::Q7_1_3: return "[[7,1,3]]";
+    case QeccCode::Q9_1_3: return "[[9,1,3]]";
+    case QeccCode::Q14_8_3: return "[[14,8,3]]";
+    case QeccCode::Q19_1_7: return "[[19,1,7]]";
+    case QeccCode::Q23_1_7: return "[[23,1,7]]";
+  }
+  return "?";
+}
+
+int code_qubits(QeccCode code) {
+  switch (code) {
+    case QeccCode::Q5_1_3: return 5;
+    case QeccCode::Q7_1_3: return 7;
+    case QeccCode::Q9_1_3: return 9;
+    case QeccCode::Q14_8_3: return 14;
+    case QeccCode::Q19_1_7: return 19;
+    case QeccCode::Q23_1_7: return 23;
+  }
+  return 0;
+}
+
+Program make_encoder(QeccCode code) {
+  switch (code) {
+    case QeccCode::Q5_1_3: return make_5_1_3();
+    case QeccCode::Q7_1_3: return make_7_1_3();
+    case QeccCode::Q9_1_3: return make_9_1_3();
+    case QeccCode::Q14_8_3: return make_14_8_3();
+    case QeccCode::Q19_1_7: return make_19_1_7();
+    case QeccCode::Q23_1_7: return make_23_1_7();
+  }
+  throw Error("unknown QECC code");
+}
+
+Program make_figure3_program() {
+  Program program("[[5,1,3]]-fig3");
+  const auto q = declare_qubits(program, 5, {3});
+  for (const int h : {0, 1, 2, 4}) program.add_gate(GateKind::H, q[h]);
+  program.add_gate(GateKind::CX, q[3], q[2]);
+  program.add_gate(GateKind::CZ, q[4], q[2]);
+  program.add_gate(GateKind::CY, q[2], q[1]);
+  program.add_gate(GateKind::CY, q[3], q[1]);
+  program.add_gate(GateKind::CX, q[4], q[1]);
+  program.add_gate(GateKind::CZ, q[2], q[0]);
+  program.add_gate(GateKind::CY, q[3], q[0]);
+  program.add_gate(GateKind::CZ, q[4], q[0]);
+  return program;
+}
+
+const std::vector<PaperNumbers>& paper_benchmarks() {
+  static const std::vector<PaperNumbers> table = {
+      // code, T2: baseline quale qspr improv%, T1: mvfb25 mc25 mvfb100 mc100,
+      // runs25 runs100
+      {QeccCode::Q5_1_3, 510, 832, 634, 23.80, 634, 664, 634, 674, 88, 312},
+      {QeccCode::Q7_1_3, 510, 798, 610, 23.56, 610, 618, 603, 622, 78, 312},
+      {QeccCode::Q9_1_3, 910, 2216, 1159, 47.70, 1159, 1212, 1138, 1198, 86,
+       308},
+      {QeccCode::Q14_8_3, 2500, 7511, 3390, 54.87, 3390, 3540, 3342, 3429, 83,
+       316},
+      {QeccCode::Q19_1_7, 2510, 6838, 3393, 50.38, 3393, 3483, 3350, 3403, 82,
+       311},
+      {QeccCode::Q23_1_7, 1410, 3738, 2066, 44.73, 2066, 2183, 2061, 2085, 89,
+       315},
+  };
+  return table;
+}
+
+PaperNumbers paper_numbers(QeccCode code) {
+  for (const PaperNumbers& numbers : paper_benchmarks()) {
+    if (numbers.code == code) return numbers;
+  }
+  throw Error("unknown QECC code");
+}
+
+}  // namespace qspr

@@ -1,0 +1,70 @@
+// The paper's benchmark workload: encoding circuits for six cyclic quantum
+// error-correcting codes (§V.A, taken from Grassl's cyclic-QECC tables).
+//
+// Only the [[5,1,3]] encoder is printed in the paper (Fig. 2/3); the
+// original QASM of the others is no longer available. We generate
+// cyclic-structure encoders (a Hadamard column on seed qubits followed by
+// cascades of controlled-Pauli gates with cyclic operand patterns) that are
+// *calibrated*: the ideal-baseline critical path of each circuit equals the
+// baseline latency the paper reports in Table 2 exactly. See DESIGN.md for
+// the substitution rationale. Note that the verbatim Fig. 3 gate order
+// yields a 610 us critical path under per-qubit sequential dependencies, so
+// the [[5,1,3]] *benchmark* uses a depth-optimal linearisation of the same
+// gate set (matching the paper's 510 us baseline); the verbatim order is
+// available as make_figure3_program().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/program.hpp"
+#include "common/time.hpp"
+
+namespace qspr {
+
+enum class QeccCode : std::uint8_t {
+  Q5_1_3,
+  Q7_1_3,
+  Q9_1_3,
+  Q14_8_3,
+  Q19_1_7,
+  Q23_1_7,
+};
+
+/// "[[5,1,3]]"-style display name.
+[[nodiscard]] std::string code_name(QeccCode code);
+
+/// Number of physical qubits n of the code.
+[[nodiscard]] int code_qubits(QeccCode code);
+
+/// The calibrated encoder circuit for `code`.
+[[nodiscard]] Program make_encoder(QeccCode code);
+
+/// The [[5,1,3]] encoder with the paper's verbatim Fig. 3 instruction order
+/// (critical path 610 us under sequential per-qubit dependencies).
+[[nodiscard]] Program make_figure3_program();
+
+/// Values the paper reports for this benchmark (Tables 1 and 2), kept next
+/// to the generators so the bench harness can print paper-vs-measured rows.
+struct PaperNumbers {
+  QeccCode code = QeccCode::Q5_1_3;
+  // Table 2.
+  Duration baseline_latency = 0;
+  Duration quale_latency = 0;
+  Duration qspr_latency = 0;
+  double improvement_percent = 0.0;
+  // Table 1 (execution latency only; runtimes are machine-specific).
+  Duration mvfb_latency_m25 = 0;
+  Duration mc_latency_m25 = 0;
+  Duration mvfb_latency_m100 = 0;
+  Duration mc_latency_m100 = 0;
+  int mvfb_runs_m25 = 0;
+  int mvfb_runs_m100 = 0;
+};
+
+/// All six benchmarks in the paper's Table order.
+[[nodiscard]] const std::vector<PaperNumbers>& paper_benchmarks();
+
+[[nodiscard]] PaperNumbers paper_numbers(QeccCode code);
+
+}  // namespace qspr

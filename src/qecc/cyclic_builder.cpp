@@ -1,0 +1,88 @@
+#include "qecc/cyclic_builder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+void validate_spec(const CyclicEncoderSpec& spec) {
+  if (spec.qubits < 4) {
+    throw ValidationError("cyclic encoder needs at least 4 qubits");
+  }
+  if (spec.data_qubits < 0 || spec.data_qubits >= spec.qubits) {
+    throw ValidationError("data qubit count must be in [0, n)");
+  }
+  if (spec.chain_gates < 1) {
+    throw ValidationError("chain must have at least one gate");
+  }
+  if (spec.chord_lanes < 0 || spec.chord_lanes > 2) {
+    throw ValidationError("chord lanes must be 0, 1 or 2");
+  }
+  // A wrapping chain revisits qubits every n steps; the chord lanes trail
+  // the frontier by up to 3 steps and must never delay a revisit (see
+  // DESIGN.md). n >= 8 keeps 6 clear steps of margin.
+  if (spec.chain_gates > spec.qubits - 1 && spec.qubits < 8 &&
+      spec.chord_lanes > 0) {
+    throw ValidationError(
+        "wrapping chains with chords need at least 8 qubits");
+  }
+  // Each slack Hadamard skews the chord lanes by t_1q; the lanes stop 4
+  // steps early which leaves t_2q of margin, so bound the count well below
+  // t_2q / t_1q (10 at the paper's parameters).
+  if (spec.slack_hadamards.size() > 5) {
+    throw ValidationError("at most 5 slack Hadamards fit in the margin");
+  }
+  for (const int j : spec.slack_hadamards) {
+    if (j < 1 || j >= spec.chain_gates) {
+      throw ValidationError("slack Hadamard index outside the chain");
+    }
+  }
+}
+
+}  // namespace
+
+Duration predicted_baseline(const CyclicEncoderSpec& spec,
+                            const TechnologyParams& params) {
+  return static_cast<Duration>(spec.chain_gates) * params.t_gate_2q +
+         (spec.seed_hadamard ? params.t_gate_1q : 0);
+}
+
+Program make_cyclic_encoder(const CyclicEncoderSpec& spec) {
+  validate_spec(spec);
+
+  Program program(spec.name);
+  std::vector<QubitId> q;
+  for (int i = 0; i < spec.qubits; ++i) {
+    const bool is_data = i >= spec.qubits - spec.data_qubits;
+    q.push_back(program.add_qubit(
+        "q" + std::to_string(i),
+        is_data ? std::nullopt : std::optional<int>(0)));
+  }
+  const auto idx = [n = spec.qubits](int v) {
+    return static_cast<std::size_t>(((v % n) + n) % n);
+  };
+
+  if (spec.seed_hadamard) program.add_gate(GateKind::H, q[0]);
+  // Chord lanes stop 4 steps early: the last lane-2 chord ends 3 steps after
+  // its chain gate and slack-Hadamard skew needs the remaining margin.
+  const int last_chord = spec.chain_gates - 4;
+  for (int j = 0; j < spec.chain_gates; ++j) {
+    program.add_gate(GateKind::CX, q[idx(j)], q[idx(j + 1)]);
+    if (spec.chord_lanes >= 1 && j >= 2 && j <= last_chord) {
+      program.add_gate(GateKind::CZ, q[idx(j - 2)], q[idx(j)]);
+    }
+    if (spec.chord_lanes >= 2 && j >= 3 && j <= last_chord) {
+      program.add_gate(GateKind::CY, q[idx(j - 3)], q[idx(j)]);
+    }
+    if (std::find(spec.slack_hadamards.begin(), spec.slack_hadamards.end(),
+                  j) != spec.slack_hadamards.end()) {
+      program.add_gate(GateKind::H, q[idx(j)]);
+    }
+  }
+  return program;
+}
+
+}  // namespace qspr

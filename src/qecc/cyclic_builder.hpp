@@ -1,0 +1,52 @@
+// Parametric generator for cyclic-code encoder circuits with a *calibrated*
+// ideal-baseline latency — the construction behind the paper benchmarks
+// (DESIGN.md: "calibrated so that the ideal-baseline critical path of each
+// circuit equals the paper's Table 2 baseline exactly").
+//
+// Structure: a cyclically wrapped CNOT chain CX(j mod n, (j+1) mod n),
+// j = 0..chain_gates-1, optionally seeded by a leading Hadamard; up to two
+// parallel stabiliser "chord" lanes (CZ two steps and CY three steps behind
+// the chain frontier) that give the circuit realistic gate width without
+// touching the critical path; and optional Hadamards placed in slack.
+//
+// The resulting critical path is exactly
+//     chain_gates * t_2q  (+ t_1q when seeded),
+// verified by predicted_baseline() and by the property tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/program.hpp"
+#include "common/time.hpp"
+
+namespace qspr {
+
+struct CyclicEncoderSpec {
+  std::string name = "cyclic";
+  /// Number of physical qubits n (>= 4; >= 8 when the chain wraps).
+  int qubits = 8;
+  /// Number of data qubits k; the last k qubits are declared uninitialised.
+  int data_qubits = 1;
+  /// Length of the CNOT cascade — the critical path is chain_gates 2-qubit
+  /// gates (may exceed n: the chain then wraps around the block).
+  int chain_gates = 8;
+  /// Lead the chain with H on q0 (adds one t_1q to the critical path).
+  bool seed_hadamard = true;
+  /// Parallel stabiliser lanes (0, 1 or 2).
+  int chord_lanes = 2;
+  /// Chain steps after which a slack Hadamard H(q_j) is appended; each one
+  /// skews the chord lanes by t_1q, so at most a handful fit (validated).
+  std::vector<int> slack_hadamards;
+};
+
+/// The ideal-baseline latency the generated circuit is calibrated to.
+[[nodiscard]] Duration predicted_baseline(const CyclicEncoderSpec& spec,
+                                          const TechnologyParams& params);
+
+/// Generates the encoder. Throws ValidationError when the spec cannot be
+/// calibrated (chain too short for the chord lanes to fit, wrap on a block
+/// too small, too many slack Hadamards, ...).
+[[nodiscard]] Program make_cyclic_encoder(const CyclicEncoderSpec& spec);
+
+}  // namespace qspr

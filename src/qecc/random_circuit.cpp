@@ -1,0 +1,41 @@
+#include "qecc/random_circuit.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+Program make_random_circuit(const RandomCircuitOptions& options, Rng& rng) {
+  require(options.qubits >= 2, "random circuit needs at least two qubits");
+  require(options.gates >= 0, "negative gate count");
+
+  Program program("random-" + std::to_string(options.qubits) + "q-" +
+                  std::to_string(options.gates) + "g");
+  std::vector<QubitId> qubits;
+  for (int i = 0; i < options.qubits; ++i) {
+    qubits.push_back(program.add_qubit("q" + std::to_string(i), 0));
+  }
+
+  constexpr std::array<GateKind, 6> one_qubit = {
+      GateKind::H, GateKind::X, GateKind::Y,
+      GateKind::Z, GateKind::S, GateKind::T};
+  constexpr std::array<GateKind, 3> two_qubit = {GateKind::CX, GateKind::CY,
+                                                 GateKind::CZ};
+
+  for (int g = 0; g < options.gates; ++g) {
+    if (rng.uniform_real() < options.two_qubit_fraction) {
+      const auto kind = two_qubit[rng.uniform_index(two_qubit.size())];
+      const std::size_t a = rng.uniform_index(qubits.size());
+      std::size_t b = rng.uniform_index(qubits.size() - 1);
+      if (b >= a) ++b;
+      program.add_gate(kind, qubits[a], qubits[b]);
+    } else {
+      const auto kind = one_qubit[rng.uniform_index(one_qubit.size())];
+      program.add_gate(kind, qubits[rng.uniform_index(qubits.size())]);
+    }
+  }
+  return program;
+}
+
+}  // namespace qspr

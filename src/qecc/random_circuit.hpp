@@ -1,0 +1,23 @@
+// Random circuit generation for property tests and stress benches.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/program.hpp"
+#include "common/rng.hpp"
+
+namespace qspr {
+
+struct RandomCircuitOptions {
+  int qubits = 8;
+  int gates = 40;
+  /// Probability that a generated gate is a 2-qubit gate.
+  double two_qubit_fraction = 0.7;
+};
+
+/// Generates a random program: `qubits` declared qubits followed by `gates`
+/// uniformly chosen gates (H/X/Y/Z/S/T and CX/CY/CZ with distinct random
+/// operands). Deterministic for a given Rng state.
+Program make_random_circuit(const RandomCircuitOptions& options, Rng& rng);
+
+}  // namespace qspr

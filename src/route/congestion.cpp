@@ -1,0 +1,44 @@
+#include "route/congestion.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+CongestionState::CongestionState(std::size_t segment_count,
+                                 std::size_t junction_count)
+    : segment_load_(segment_count, 0), junction_load_(junction_count, 0) {}
+
+int CongestionState::load(ResourceRef resource) const {
+  require(resource.index >= 0, "invalid resource");
+  if (resource.kind == ResourceRef::Kind::Segment) {
+    return segment_load_[static_cast<std::size_t>(resource.index)];
+  }
+  return junction_load_[static_cast<std::size_t>(resource.index)];
+}
+
+void CongestionState::acquire(ResourceRef resource) {
+  require(resource.index >= 0, "invalid resource");
+  auto& table = resource.kind == ResourceRef::Kind::Segment ? segment_load_
+                                                            : junction_load_;
+  ++table[static_cast<std::size_t>(resource.index)];
+}
+
+void CongestionState::release(ResourceRef resource) {
+  require(resource.index >= 0, "invalid resource");
+  auto& table = resource.kind == ResourceRef::Kind::Segment ? segment_load_
+                                                            : junction_load_;
+  int& load = table[static_cast<std::size_t>(resource.index)];
+  if (load <= 0) {
+    throw SimulationError("releasing a routing resource with zero load");
+  }
+  --load;
+}
+
+long long CongestionState::total_load() const {
+  return std::accumulate(segment_load_.begin(), segment_load_.end(), 0LL) +
+         std::accumulate(junction_load_.begin(), junction_load_.end(), 0LL);
+}
+
+}  // namespace qspr

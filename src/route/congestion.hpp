@@ -1,0 +1,55 @@
+// Dynamic routing-resource state: how many qubits are using — or have
+// reserved for imminent use — each channel segment and junction ("n" in the
+// paper's Eq. 2). Reservations are taken for a qubit's whole path when its
+// instruction is issued and released as the qubit exits each resource, so a
+// fully congested channel's edges weigh infinity until somebody leaves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace qspr {
+
+/// A capacity-limited routing resource: a channel segment or a junction.
+struct ResourceRef {
+  enum class Kind : std::uint8_t { Segment, Junction };
+  Kind kind = Kind::Segment;
+  std::int32_t index = -1;
+
+  static ResourceRef segment(SegmentId id) {
+    return {Kind::Segment, id.value()};
+  }
+  static ResourceRef junction(JunctionId id) {
+    return {Kind::Junction, id.value()};
+  }
+
+  friend bool operator==(const ResourceRef&, const ResourceRef&) = default;
+};
+
+class CongestionState {
+ public:
+  CongestionState(std::size_t segment_count, std::size_t junction_count);
+
+  [[nodiscard]] int segment_load(SegmentId id) const {
+    return segment_load_[id.index()];
+  }
+  [[nodiscard]] int junction_load(JunctionId id) const {
+    return junction_load_[id.index()];
+  }
+  [[nodiscard]] int load(ResourceRef resource) const;
+
+  void acquire(ResourceRef resource);
+  /// Throws SimulationError when releasing a resource with zero load.
+  void release(ResourceRef resource);
+
+  /// Sum of loads across all resources (diagnostics).
+  [[nodiscard]] long long total_load() const;
+
+ private:
+  std::vector<int> segment_load_;
+  std::vector<int> junction_load_;
+};
+
+}  // namespace qspr

@@ -1,0 +1,107 @@
+#include "route/path.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Capacity-limited resource of a graph vertex, if any (traps excluded).
+ResourceRef resource_of(const RouteNode& node) {
+  if (node.is_trap) return ResourceRef{};
+  if (node.junction.is_valid()) return ResourceRef::junction(node.junction);
+  if (node.segment.is_valid()) return ResourceRef::segment(node.segment);
+  return ResourceRef{};
+}
+
+}  // namespace
+
+Duration RoutedPath::total_delay() const {
+  Duration total = 0;
+  for (const PathStep& step : steps) total += step.duration;
+  return total;
+}
+
+int RoutedPath::move_count() const {
+  return static_cast<int>(std::count_if(
+      steps.begin(), steps.end(),
+      [](const PathStep& s) { return s.kind == StepKind::Move; }));
+}
+
+int RoutedPath::turn_count() const {
+  return static_cast<int>(steps.size()) - move_count();
+}
+
+RoutedPath lower_path(const RoutingGraph& graph,
+                      const std::vector<RouteNodeId>& nodes,
+                      const TechnologyParams& params) {
+  RoutedPath path;
+  path.nodes = nodes;
+  if (nodes.size() < 2) return path;
+
+  // Steps with cumulative offsets.
+  Duration offset = 0;
+  std::vector<Duration> step_start_offsets;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const RouteNode& a = graph.node(nodes[i]);
+    const RouteNode& b = graph.node(nodes[i + 1]);
+    PathStep step;
+    if (a.cell == b.cell) {
+      step.kind = StepKind::Turn;
+      step.from = a.cell;
+      step.to = a.cell;
+      step.duration = params.t_turn;
+    } else {
+      require(are_adjacent(a.cell, b.cell),
+              "path vertices must be cell-adjacent");
+      step.kind = StepKind::Move;
+      step.from = a.cell;
+      step.to = b.cell;
+      step.duration = params.t_move;
+    }
+    step_start_offsets.push_back(offset);
+    offset += step.duration;
+    path.steps.push_back(step);
+  }
+  const Duration total = offset;
+
+  // Resource intervals: a resource opens when the qubit starts moving into
+  // one of its cells and closes when the qubit has fully moved out.
+  std::vector<ResourceUse> uses;
+  const auto find_open = [&uses](ResourceRef r) -> ResourceUse* {
+    for (auto it = uses.rbegin(); it != uses.rend(); ++it) {
+      if (it->resource == r && it->exit_offset < 0) return &*it;
+    }
+    return nullptr;
+  };
+
+  offset = 0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const RouteNode& a = graph.node(nodes[i]);
+    const RouteNode& b = graph.node(nodes[i + 1]);
+    const ResourceRef ra = resource_of(a);
+    const ResourceRef rb = resource_of(b);
+    const Duration start = step_start_offsets[i];
+    const Duration end = start + path.steps[i].duration;
+    if (rb.index >= 0 && !(rb == ra)) {
+      // Entering rb: open at move start (occupies both cells while moving).
+      if (find_open(rb) == nullptr) {
+        uses.push_back(ResourceUse{rb, start, -1});
+      }
+    }
+    if (ra.index >= 0 && !(ra == rb)) {
+      if (ResourceUse* open = find_open(ra)) open->exit_offset = end;
+    }
+    offset = end;
+  }
+  // Anything still open is held until the path completes.
+  for (ResourceUse& use : uses) {
+    if (use.exit_offset < 0) use.exit_offset = total;
+  }
+  path.resource_uses = std::move(uses);
+  return path;
+}
+
+}  // namespace qspr

@@ -1,0 +1,199 @@
+#include "route/pathfinder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Dense index for a resource: segments first, then junctions.
+class ResourceTable {
+ public:
+  explicit ResourceTable(const Fabric& fabric)
+      : occupancy_(fabric.segment_count() + fabric.junction_count(), 0),
+        history_(fabric.segment_count() + fabric.junction_count(), 0.0),
+        segment_count_(fabric.segment_count()) {}
+
+  [[nodiscard]] std::size_t index_of(ResourceRef resource) const {
+    return resource.kind == ResourceRef::Kind::Segment
+               ? static_cast<std::size_t>(resource.index)
+               : segment_count_ + static_cast<std::size_t>(resource.index);
+  }
+
+  [[nodiscard]] int capacity_of(ResourceRef resource,
+                                const TechnologyParams& params) const {
+    return resource.kind == ResourceRef::Kind::Segment
+               ? params.channel_capacity
+               : params.junction_capacity;
+  }
+
+  std::vector<int> occupancy_;
+  std::vector<double> history_;
+
+ private:
+  std::size_t segment_count_;
+};
+
+ResourceRef resource_of_node(const RouteNode& node) {
+  if (node.is_trap) return ResourceRef{};
+  if (node.junction.is_valid()) return ResourceRef::junction(node.junction);
+  if (node.segment.is_valid()) return ResourceRef::segment(node.segment);
+  return ResourceRef{};
+}
+
+struct QueueEntry {
+  double cost;
+  RouteNodeId node;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.node > b.node;
+  }
+};
+
+/// One negotiated-cost Dijkstra. Over-used resources are allowed but priced.
+std::optional<std::vector<RouteNodeId>> route_one(
+    const RoutingGraph& graph, const TechnologyParams& params,
+    const ResourceTable& table, double present_factor, bool turn_aware,
+    TrapId from, TrapId to) {
+  const RouteNodeId source = graph.trap_node(from);
+  const RouteNodeId target = graph.trap_node(to);
+  if (source == target) return std::vector<RouteNodeId>{source};
+
+  const std::size_t n = graph.node_count();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<RouteNodeId> parent(n);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      frontier;
+  dist[source.index()] = 0.0;
+  frontier.push({0.0, source});
+
+  while (!frontier.empty()) {
+    const QueueEntry entry = frontier.top();
+    frontier.pop();
+    if (entry.cost > dist[entry.node.index()]) continue;
+    if (entry.node == target) break;
+
+    for (const RouteEdge& edge : graph.edges(entry.node)) {
+      const RouteNode& v = graph.node(edge.to);
+      double weight = 0.0;
+      if (edge.is_turn) {
+        weight = turn_aware ? static_cast<double>(params.t_turn) : 0.1;
+      } else if (v.is_trap) {
+        if (v.trap != to) continue;  // traps are endpoints only
+        weight = static_cast<double>(params.t_move);
+      } else {
+        const ResourceRef resource = resource_of_node(v);
+        double penalty = 1.0;
+        if (resource.index >= 0) {
+          const std::size_t index = table.index_of(resource);
+          const int capacity = table.capacity_of(resource, params);
+          const int over =
+              std::max(0, table.occupancy_[index] + 1 - capacity);
+          penalty = (1.0 + static_cast<double>(over) * present_factor) *
+                    (1.0 + table.history_[index]);
+        }
+        weight = static_cast<double>(params.t_move) * penalty;
+      }
+      const double candidate = dist[entry.node.index()] + weight;
+      if (candidate < dist[edge.to.index()]) {
+        dist[edge.to.index()] = candidate;
+        parent[edge.to.index()] = entry.node;
+        frontier.push({candidate, edge.to});
+      }
+    }
+  }
+  if (!std::isfinite(dist[target.index()])) return std::nullopt;
+
+  std::vector<RouteNodeId> path;
+  for (RouteNodeId node = target; node.is_valid();
+       node = parent[node.index()]) {
+    path.push_back(node);
+    if (node == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+/// Distinct resources a routed path occupies.
+std::vector<ResourceRef> resources_of(const RoutedPath& path) {
+  std::vector<ResourceRef> resources;
+  for (const ResourceUse& use : path.resource_uses) {
+    if (std::find(resources.begin(), resources.end(), use.resource) ==
+        resources.end()) {
+      resources.push_back(use.resource);
+    }
+  }
+  return resources;
+}
+
+}  // namespace
+
+PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
+                                       const TechnologyParams& params,
+                                       const std::vector<NetRequest>& nets,
+                                       const PathFinderOptions& options) {
+  params.validate();
+  require(options.max_iterations >= 1, "need at least one iteration");
+
+  const Fabric& fabric = graph.fabric();
+  ResourceTable table(fabric);
+  PathFinderResult result;
+  result.paths.resize(nets.size());
+
+  double present_factor = options.present_factor;
+  for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
+    result.iterations = iteration;
+    // Incremental rip-up: each net is removed from the occupancy, re-routed
+    // against the *other* nets' present congestion plus the history costs,
+    // and re-inserted (the original PathFinder inner loop).
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      if (iteration > 1) {
+        for (const ResourceRef& resource : resources_of(result.paths[i])) {
+          --table.occupancy_[table.index_of(resource)];
+        }
+      }
+      auto nodes = route_one(graph, params, table, present_factor,
+                             options.turn_aware, nets[i].from, nets[i].to);
+      if (!nodes.has_value()) {
+        throw RoutingError("PathFinder: net " + std::to_string(i) +
+                           " has no route on this fabric");
+      }
+      result.paths[i] = lower_path(graph, *nodes, params);
+      for (const ResourceRef& resource : resources_of(result.paths[i])) {
+        ++table.occupancy_[table.index_of(resource)];
+      }
+    }
+
+    // Check for over-use; charge history on offenders.
+    int overused = 0;
+    for (std::size_t index = 0; index < table.occupancy_.size(); ++index) {
+      const int capacity = index < fabric.segment_count()
+                               ? params.channel_capacity
+                               : params.junction_capacity;
+      if (table.occupancy_[index] > capacity) {
+        ++overused;
+        table.history_[index] += options.history_increment;
+      }
+    }
+    result.overused_resources = overused;
+    if (overused == 0) {
+      result.converged = true;
+      break;
+    }
+    present_factor *= 1.5;  // standard PathFinder schedule
+  }
+
+  result.total_delay = 0;
+  for (const RoutedPath& path : result.paths) {
+    result.total_delay += path.total_delay();
+  }
+  return result;
+}
+
+}  // namespace qspr

@@ -1,0 +1,56 @@
+// PathFinder: the negotiated-congestion router of McMurchie & Ebeling that
+// QUALE used for routing and "dealing with resource contentions" (paper §I,
+// ref. [3]).
+//
+// All nets (qubit relocations) are routed simultaneously: resources may be
+// over-subscribed at first, then every iteration re-routes each net against
+// a cost that multiplies the base delay by a *present congestion* penalty
+// (grows within an iteration as resources fill) and a *history* penalty
+// (accumulates across iterations on chronically over-used resources), until
+// no channel or junction exceeds its capacity.
+//
+// The event-driven simulator routes incrementally instead (one instruction
+// at a time, Eq. 2 weights); this module provides the classic batch
+// formulation for comparison and for users who want whole-layer routing.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "route/path.hpp"
+#include "route/routing_graph.hpp"
+
+namespace qspr {
+
+struct NetRequest {
+  TrapId from;
+  TrapId to;
+};
+
+struct PathFinderOptions {
+  int max_iterations = 30;
+  /// Present-congestion penalty factor added per unit of over-use.
+  double present_factor = 0.6;
+  /// History penalty accumulated per iteration of over-use.
+  double history_increment = 0.25;
+  /// Model turn delays in the cost (QSPR's enhancement; QUALE ran without).
+  bool turn_aware = true;
+};
+
+struct PathFinderResult {
+  std::vector<RoutedPath> paths;  // one per net, in request order
+  int iterations = 0;
+  bool converged = false;         // true when no resource is over capacity
+  Duration total_delay = 0;       // sum of physical path delays
+  int overused_resources = 0;     // at the final iteration
+};
+
+/// Routes all nets with negotiated congestion. Nets with from == to receive
+/// empty paths. Throws RoutingError when some net has no route at all
+/// (disconnected fabric).
+PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
+                                       const TechnologyParams& params,
+                                       const std::vector<NetRequest>& nets,
+                                       const PathFinderOptions& options = {});
+
+}  // namespace qspr

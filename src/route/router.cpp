@@ -1,0 +1,139 @@
+#include "route/router.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+// Priority queue entry over (f = g + h, g, node); g- and node-tie-breaks keep
+// the search deterministic across platforms.
+struct QueueEntry {
+  Duration f;
+  Duration g;
+  RouteNodeId node;
+};
+
+bool operator>(const QueueEntry& a, const QueueEntry& b) {
+  if (a.f != b.f) return a.f > b.f;
+  if (a.g != b.g) return a.g > b.g;
+  return a.node > b.node;
+}
+
+}  // namespace
+
+Router::Router(const RoutingGraph& graph, const TechnologyParams& params,
+               RouterOptions options)
+    : graph_(&graph), params_(params), options_(options) {
+  params_.validate();
+  states_.resize(graph.node_count());
+}
+
+Duration Router::heuristic(RouteNodeId node, Position target) const {
+  // Admissible: every remaining cell costs at least one uncongested move.
+  return static_cast<Duration>(
+             manhattan_distance(graph_->node(node).cell, target)) *
+         params_.t_move;
+}
+
+std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
+    RouteNodeId from, RouteNodeId to, const CongestionState& congestion,
+    TrapId allowed_trap) {
+  require(from.is_valid() && to.is_valid(), "invalid route endpoints");
+  if (from == to) {
+    last_cost_ = 0;
+    return std::vector<RouteNodeId>{from};
+  }
+
+  ++generation_;
+  const Position target_cell = graph_->node(to).cell;
+  const TrapId target_trap = graph_->node(to).trap;
+
+  auto& states = states_;
+  const auto touch = [&](RouteNodeId id) -> NodeState& {
+    NodeState& s = states[id.index()];
+    if (s.generation != generation_) {
+      s.generation = generation_;
+      s.distance = kInfiniteDuration;
+      s.parent = RouteNodeId::invalid();
+      s.settled = false;
+    }
+    return s;
+  };
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      frontier;
+
+  touch(from).distance = 0;
+  frontier.push(QueueEntry{heuristic(from, target_cell), 0, from});
+
+  while (!frontier.empty()) {
+    const QueueEntry entry = frontier.top();
+    frontier.pop();
+    NodeState& current = touch(entry.node);
+    if (current.settled || entry.g != current.distance) continue;
+    current.settled = true;
+
+    if (entry.node == to) {
+      last_cost_ = entry.g;
+      std::vector<RouteNodeId> path;
+      for (RouteNodeId n = to; n.is_valid(); n = states[n.index()].parent) {
+        path.push_back(n);
+        if (n == from) break;
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+
+    for (const RouteEdge& edge : graph_->edges(entry.node)) {
+      const RouteNode& v = graph_->node(edge.to);
+
+      Duration weight = 0;
+      if (edge.is_turn) {
+        weight = options_.turn_aware ? params_.t_turn : 0;
+      } else if (v.is_trap) {
+        // Traps are endpoints only, never corridors.
+        if (v.trap != target_trap && v.trap != allowed_trap) continue;
+        if (edge.to != to) continue;
+        weight = params_.t_move;
+      } else if (v.junction.is_valid()) {
+        if (congestion.junction_load(v.junction) >=
+            params_.junction_capacity) {
+          continue;
+        }
+        weight = params_.t_move;
+      } else if (v.segment.is_valid()) {
+        const int load = congestion.segment_load(v.segment);
+        if (load >= params_.channel_capacity) continue;
+        weight = params_.t_move * static_cast<Duration>(load + 1);
+      } else {
+        weight = params_.t_move;
+      }
+
+      const Duration candidate = entry.g + weight;
+      NodeState& next = touch(edge.to);
+      if (candidate < next.distance) {
+        next.distance = candidate;
+        next.parent = entry.node;
+        frontier.push(
+            QueueEntry{candidate + heuristic(edge.to, target_cell), candidate,
+                       edge.to});
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<RoutedPath> Router::route_trap_to_trap(
+    TrapId from, TrapId to, const CongestionState& congestion) {
+  const RouteNodeId source = graph_->trap_node(from);
+  const RouteNodeId target = graph_->trap_node(to);
+  auto nodes = shortest_node_path(source, target, congestion, from);
+  if (!nodes.has_value()) return std::nullopt;
+  return lower_path(*graph_, *nodes, params_);
+}
+
+}  // namespace qspr

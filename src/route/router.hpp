@@ -1,0 +1,77 @@
+// Congestion-aware shortest-path router (paper §IV.B).
+//
+// Runs Dijkstra (with an admissible Manhattan-distance A* bound) over the
+// RoutingGraph, weighting edges at query time against the current
+// CongestionState:
+//
+//   move into a channel cell of segment s :  t_move * (n_s + 1)   if n_s < cap
+//                                            infinity (pruned)    otherwise
+//   move into a junction cell j           :  t_move               if n_j < cap
+//   turn in place                         :  t_turn  (or 0 when turn-unaware)
+//
+// The per-cell weight t_move*(n+1) is the cell-granular decomposition of the
+// paper's Eq. 2 per-channel weight (n+1)*length. Turn-unaware mode reproduces
+// the prior-art cost model of Fig. 5.b: turns are free during *selection* but
+// still cost t_turn when the chosen path is executed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+#include "route/congestion.hpp"
+#include "route/path.hpp"
+#include "route/routing_graph.hpp"
+
+namespace qspr {
+
+struct RouterOptions {
+  /// Model turn delays in the path cost (the QSPR enhancement of Fig. 5.c).
+  bool turn_aware = true;
+};
+
+class Router {
+ public:
+  Router(const RoutingGraph& graph, const TechnologyParams& params,
+         RouterOptions options = {});
+
+  /// Minimum-cost path between two traps under the given congestion. Returns
+  /// nullopt when every route is blocked by fully-loaded resources. A path
+  /// from a trap to itself is empty. Not thread-safe (reusable workspace).
+  [[nodiscard]] std::optional<RoutedPath> route_trap_to_trap(
+      TrapId from, TrapId to, const CongestionState& congestion);
+
+  /// Generic vertex-to-vertex search. Intermediate trap vertices are never
+  /// traversed; `allowed_trap` additionally admits one trap as an endpoint.
+  [[nodiscard]] std::optional<std::vector<RouteNodeId>> shortest_node_path(
+      RouteNodeId from, RouteNodeId to, const CongestionState& congestion,
+      TrapId allowed_trap = TrapId::invalid());
+
+  /// Cost of the last path found by shortest_node_path (selection cost, which
+  /// in turn-unaware mode differs from the physical delay).
+  [[nodiscard]] Duration last_path_cost() const { return last_cost_; }
+
+  [[nodiscard]] const RouterOptions& options() const { return options_; }
+  [[nodiscard]] const TechnologyParams& params() const { return params_; }
+  [[nodiscard]] const RoutingGraph& graph() const { return *graph_; }
+
+ private:
+  [[nodiscard]] Duration heuristic(RouteNodeId node, Position target) const;
+
+  const RoutingGraph* graph_;
+  TechnologyParams params_;
+  RouterOptions options_;
+  Duration last_cost_ = 0;
+
+  // Reusable search workspace, invalidated by bumping `generation_`.
+  struct NodeState {
+    Duration distance = 0;
+    RouteNodeId parent;
+    std::uint32_t generation = 0;
+    bool settled = false;
+  };
+  std::vector<NodeState> states_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace qspr

@@ -1,0 +1,136 @@
+#include "route/routing_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+bool supports_travel(CellType type) {
+  return type == CellType::Channel || type == CellType::Junction;
+}
+
+}  // namespace
+
+RoutingGraph::RoutingGraph(const Fabric& fabric) : fabric_(&fabric) {
+  node_by_cell_orientation_.assign(
+      static_cast<std::size_t>(fabric.rows()) *
+          static_cast<std::size_t>(fabric.cols()) * 2,
+      -1);
+  node_by_trap_.assign(fabric.trap_count(), RouteNodeId::invalid());
+  create_nodes();
+  create_edges();
+}
+
+void RoutingGraph::create_nodes() {
+  const Fabric& fabric = *fabric_;
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      const Position p{row, col};
+      const CellType type = fabric.cell(p);
+      if (type == CellType::Trap) {
+        RouteNode node;
+        node.cell = p;
+        node.is_trap = true;
+        node.trap = fabric.trap_at(p);
+        node_by_trap_[node.trap.index()] = RouteNodeId::from_index(nodes_.size());
+        nodes_.push_back(node);
+        continue;
+      }
+      if (!supports_travel(type)) continue;
+      // A travel vertex exists for orientation o when the cell connects to
+      // anything (channel, junction or trap) along o's axis.
+      for (const Orientation o : kAllOrientations) {
+        const Direction forward =
+            o == Orientation::Horizontal ? Direction::East : Direction::South;
+        const Position next = step(p, forward);
+        const Position prev = step(p, opposite(forward));
+        const bool connects =
+            fabric.cell(next) != CellType::Empty ||
+            fabric.cell(prev) != CellType::Empty;
+        if (!connects) continue;
+        RouteNode node;
+        node.cell = p;
+        node.orientation = o;
+        node.segment = fabric.segment_at(p);
+        node.junction = fabric.junction_at(p);
+        node_by_cell_orientation_[cell_slot(p, o)] =
+            static_cast<std::int32_t>(nodes_.size());
+        nodes_.push_back(node);
+      }
+    }
+  }
+  edges_.resize(nodes_.size());
+}
+
+void RoutingGraph::create_edges() {
+  const Fabric& fabric = *fabric_;
+  // Turn edges: both orientation vertices of the same cell.
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      const Position p{row, col};
+      const RouteNodeId h = node_at(p, Orientation::Horizontal);
+      const RouteNodeId v = node_at(p, Orientation::Vertical);
+      if (h.is_valid() && v.is_valid()) add_edge(h, v, /*is_turn=*/true);
+    }
+  }
+  // Move edges between adjacent travel cells, along the shared axis. Only
+  // East/South scanned; add_edge inserts both directions.
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      const Position p{row, col};
+      if (!supports_travel(fabric.cell(p))) continue;
+      for (const Direction d : {Direction::East, Direction::South}) {
+        const Position q = step(p, d);
+        if (!supports_travel(fabric.cell(q))) continue;
+        const Orientation o = axis_of(d);
+        const RouteNodeId a = node_at(p, o);
+        const RouteNodeId b = node_at(q, o);
+        require(a.is_valid() && b.is_valid(),
+                "adjacent travel cells missing orientation vertices");
+        add_edge(a, b, /*is_turn=*/false);
+      }
+    }
+  }
+  // Trap access edges along each port's axis.
+  for (const Trap& trap : fabric.traps()) {
+    const RouteNodeId t = trap_node(trap.id);
+    for (const TrapPort& port : trap.ports) {
+      const Orientation o = axis_of(port.direction_from_trap);
+      const RouteNodeId c = node_at(port.channel_cell, o);
+      require(c.is_valid(), "trap port cell missing orientation vertex");
+      add_edge(t, c, /*is_turn=*/false);
+    }
+  }
+}
+
+void RoutingGraph::add_edge(RouteNodeId a, RouteNodeId b, bool is_turn) {
+  edges_[a.index()].push_back(RouteEdge{b, is_turn});
+  edges_[b.index()].push_back(RouteEdge{a, is_turn});
+}
+
+const RouteNode& RoutingGraph::node(RouteNodeId id) const {
+  require(id.is_valid() && id.index() < nodes_.size(),
+          "route node id out of range");
+  return nodes_[id.index()];
+}
+
+const std::vector<RouteEdge>& RoutingGraph::edges(RouteNodeId id) const {
+  require(id.is_valid() && id.index() < edges_.size(),
+          "route node id out of range");
+  return edges_[id.index()];
+}
+
+RouteNodeId RoutingGraph::node_at(Position cell, Orientation o) const {
+  if (!fabric_->in_bounds(cell)) return RouteNodeId::invalid();
+  const std::int32_t index = node_by_cell_orientation_[cell_slot(cell, o)];
+  return index < 0 ? RouteNodeId::invalid() : RouteNodeId(index);
+}
+
+RouteNodeId RoutingGraph::trap_node(TrapId trap) const {
+  require(trap.is_valid() && trap.index() < node_by_trap_.size(),
+          "trap id out of range");
+  return node_by_trap_[trap.index()];
+}
+
+}  // namespace qspr

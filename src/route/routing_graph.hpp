@@ -1,0 +1,80 @@
+// The weighted graph model of the fabric used for routing (paper §IV.B,
+// Fig. 5.c — the "enhanced" model).
+//
+// Every junction or channel cell that supports horizontal travel gets a
+// horizontal vertex; likewise for vertical travel. The two vertices of one
+// cell are linked by a *turn edge* whose (large) cost makes the router prefer
+// straight paths — the paper's key routing improvement over QUALE/QPOS.
+// Traps are their own vertices, linked to the adjacent channel cells through
+// move edges along the port axis (entering or leaving a trap from a
+// perpendicular channel therefore costs a turn, charged at the port cell).
+//
+// Edge weights are evaluated at query time against the current congestion
+// state (Eq. 2); this class only stores the static structure.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/ids.hpp"
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+struct RouteNode {
+  Position cell;
+  /// Travel orientation for channel/junction vertices; meaningless for traps.
+  Orientation orientation = Orientation::Horizontal;
+  bool is_trap = false;
+  /// Segment of the cell (valid iff the cell is a channel square).
+  SegmentId segment;
+  /// Junction at the cell (valid iff the cell is a junction square).
+  JunctionId junction;
+  /// Trap identity (valid iff is_trap).
+  TrapId trap;
+};
+
+struct RouteEdge {
+  RouteNodeId to;
+  bool is_turn = false;
+};
+
+class RoutingGraph {
+ public:
+  explicit RoutingGraph(const Fabric& fabric);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] const RouteNode& node(RouteNodeId id) const;
+
+  /// Outgoing edges of `id` (the graph is symmetric).
+  [[nodiscard]] const std::vector<RouteEdge>& edges(RouteNodeId id) const;
+
+  /// Vertex for travelling through `cell` with orientation `o`; invalid when
+  /// the cell does not support that orientation.
+  [[nodiscard]] RouteNodeId node_at(Position cell, Orientation o) const;
+
+  /// Vertex of trap `trap`.
+  [[nodiscard]] RouteNodeId trap_node(TrapId trap) const;
+
+  [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
+
+ private:
+  void create_nodes();
+  void create_edges();
+  void add_edge(RouteNodeId a, RouteNodeId b, bool is_turn);
+
+  [[nodiscard]] std::size_t cell_slot(Position p, Orientation o) const {
+    const auto cell = static_cast<std::size_t>(p.row) *
+                          static_cast<std::size_t>(fabric_->cols()) +
+                      static_cast<std::size_t>(p.col);
+    return cell * 2 + (o == Orientation::Vertical ? 1 : 0);
+  }
+
+  const Fabric* fabric_;
+  std::vector<RouteNode> nodes_;
+  std::vector<std::vector<RouteEdge>> edges_;
+  std::vector<std::int32_t> node_by_cell_orientation_;  // -1 when absent
+  std::vector<RouteNodeId> node_by_trap_;
+};
+
+}  // namespace qspr

@@ -1,0 +1,538 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+void erase_occupant(std::vector<QubitId>& occupants, QubitId qubit) {
+  const auto it = std::find(occupants.begin(), occupants.end(), qubit);
+  require(it != occupants.end(), "qubit not in expected trap");
+  occupants.erase(it);
+}
+
+}  // namespace
+
+EventSimulator::EventSimulator(const DependencyGraph& graph,
+                               const Fabric& fabric,
+                               const RoutingGraph& routing_graph,
+                               std::vector<int> schedule_rank,
+                               ExecutionOptions options)
+    : graph_(&graph),
+      fabric_(&fabric),
+      rank_(std::move(schedule_rank)),
+      options_(options),
+      router_(routing_graph, options.tech, options.router) {
+  options_.tech.validate();
+  require(rank_.size() == graph.node_count(),
+          "schedule rank size does not match instruction count");
+  require(&routing_graph.fabric() == &fabric,
+          "routing graph was built for a different fabric");
+}
+
+void EventSimulator::initialise(RunState& state,
+                                const Placement& initial) const {
+  if (initial.qubit_count() != graph_->qubit_count()) {
+    throw ValidationError("placement qubit count does not match circuit");
+  }
+  initial.validate(*fabric_, options_.tech.trap_capacity);
+
+  state.qubit_trap.resize(graph_->qubit_count());
+  state.trap_occupants.assign(fabric_->trap_count(), {});
+  state.trap_reserved_by.assign(fabric_->trap_count(),
+                                InstructionId::invalid());
+  for (std::size_t q = 0; q < graph_->qubit_count(); ++q) {
+    const QubitId qubit = QubitId::from_index(q);
+    const TrapId trap = initial.trap_of(qubit);
+    state.qubit_trap[q] = trap;
+    state.trap_occupants[trap.index()].push_back(qubit);
+  }
+
+  const std::size_t n = graph_->node_count();
+  state.remaining_preds.resize(n);
+  state.pending_arrivals.assign(n, 0);
+  state.timings.assign(n, InstructionTiming{});
+  state.home_trap = state.qubit_trap;
+  state.return_target.assign(graph_->qubit_count(), TrapId::invalid());
+  state.pending_returns.assign(n, 0);
+  state.gate_done.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = InstructionId::from_index(i);
+    state.remaining_preds[i] =
+        static_cast<int>(graph_->predecessors(id).size());
+    if (state.remaining_preds[i] == 0) become_ready(state, id, 0);
+  }
+}
+
+void EventSimulator::become_ready(RunState& state, InstructionId id,
+                                  TimePoint now) const {
+  state.timings[id.index()].ready = now;
+  state.ready.insert({rank_[id.index()], id});
+}
+
+void EventSimulator::retry_busy(RunState& state, TimePoint /*now*/) const {
+  for (const InstructionId id : state.busy) {
+    state.ready.insert({rank_[id.index()], id});
+  }
+  state.busy.clear();
+}
+
+void EventSimulator::try_issue(RunState& state, TimePoint now) const {
+  // One pass in rank order. A successful issue only consumes resources, so
+  // instructions that fail here cannot become issueable until the next
+  // state-changing event; they park in the busy queue.
+  std::vector<InstructionId> candidates;
+  candidates.reserve(state.ready.size());
+  for (const auto& [rank, id] : state.ready) candidates.push_back(id);
+  for (const InstructionId id : candidates) {
+    state.ready.erase({rank_[id.index()], id});
+    if (!attempt_issue(state, id, now)) {
+      state.busy.push_back(id);
+      ++state.stats.busy_enqueues;
+    }
+  }
+}
+
+bool EventSimulator::attempt_issue(RunState& state, InstructionId id,
+                                   TimePoint now) const {
+  const Instruction& instr = graph_->instruction(id);
+  return instr.is_two_qubit() ? issue_two_qubit(state, id, now)
+                              : issue_one_qubit(state, id, now);
+}
+
+bool EventSimulator::issue_one_qubit(RunState& state, InstructionId id,
+                                     TimePoint now) const {
+  const Instruction& instr = graph_->instruction(id);
+  const QubitId qubit = instr.target;
+  const TrapId trap = state.qubit_trap[qubit.index()];
+  require(trap.is_valid(), "operand qubit is in transit at issue time");
+
+  const auto& occupants = state.trap_occupants[trap.index()];
+  const bool alone = occupants.size() == 1 && occupants.front() == qubit;
+  if (alone && !state.trap_reserved_by[trap.index()].is_valid()) {
+    state.timings[id.index()].issue = now;
+    start_gate(state, id, trap, now);
+    return true;
+  }
+
+  // §II.B: a 1-qubit operation requires the qubit alone in a trap, so a
+  // co-resident qubit must first relocate to the nearest empty trap.
+  const auto target = find_empty_trap(state, qubit_position(state, qubit));
+  if (!target.has_value()) return false;
+  auto path = router_.route_trap_to_trap(trap, *target, state.congestion);
+  if (!path.has_value()) return false;
+
+  state.timings[id.index()].issue = now;
+  state.timings[id.index()].trap = *target;
+  state.trap_reserved_by[target->index()] = id;
+  state.pending_arrivals[id.index()] = 1;
+  for (const ResourceUse& use : path->resource_uses) {
+    state.congestion.acquire(use.resource);
+  }
+  dispatch_qubit(state, id, qubit, *path, now);
+  return true;
+}
+
+bool EventSimulator::issue_two_qubit(RunState& state, InstructionId id,
+                                     TimePoint now) const {
+  const Instruction& instr = graph_->instruction(id);
+  const QubitId a = instr.control;
+  const QubitId b = instr.target;
+  const TrapId trap_a = state.qubit_trap[a.index()];
+  const TrapId trap_b = state.qubit_trap[b.index()];
+  require(trap_a.is_valid() && trap_b.is_valid(),
+          "operand qubit is in transit at issue time");
+
+  // Operands already share a trap: execute in place.
+  if (trap_a == trap_b) {
+    state.timings[id.index()].issue = now;
+    start_gate(state, id, trap_a, now);
+    return true;
+  }
+
+  // Target trap selection (§IV.B): QSPR takes the nearest available trap to
+  // the median of the operand positions; the destination-fixed policy of
+  // prior art prefers the destination qubit's own trap.
+  std::optional<TrapId> target;
+  if (options_.dual_move) {
+    const Position pa = qubit_position(state, a);
+    const Position pb = qubit_position(state, b);
+    const Position median{(pa.row + pb.row) / 2, (pa.col + pb.col) / 2};
+    target = find_target_trap(state, median, instr);
+  } else if (trap_available(state, trap_b, instr)) {
+    target = trap_b;
+  } else {
+    target = find_target_trap(state, qubit_position(state, b), instr);
+  }
+  if (!target.has_value()) return false;
+
+  std::vector<QubitId> moving;
+  for (const QubitId q : {a, b}) {
+    if (state.qubit_trap[q.index()] != *target) moving.push_back(q);
+  }
+  require(!moving.empty(), "2-qubit issue with no moving qubit");
+
+  // Commit to the target trap, then dispatch each operand independently: the
+  // second route sees the first one's reservations, and an operand whose
+  // departure is fully congested waits in its trap until channels free up.
+  state.timings[id.index()].issue = now;
+  state.timings[id.index()].trap = *target;
+  state.trap_reserved_by[target->index()] = id;
+  state.pending_arrivals[id.index()] = static_cast<int>(moving.size());
+  for (const QubitId q : moving) {
+    if (!try_dispatch_operand(state, id, q, now)) {
+      state.pending_routes.emplace_back(id, q);
+    }
+  }
+  return true;
+}
+
+bool EventSimulator::try_dispatch_operand(RunState& state, InstructionId id,
+                                          QubitId qubit, TimePoint now) const {
+  const TrapId target = state.timings[id.index()].trap;
+  auto path = router_.route_trap_to_trap(state.qubit_trap[qubit.index()],
+                                         target, state.congestion);
+  if (!path.has_value()) return false;
+  for (const ResourceUse& use : path->resource_uses) {
+    state.congestion.acquire(use.resource);
+  }
+  dispatch_qubit(state, id, qubit, *path, now);
+  return true;
+}
+
+void EventSimulator::retry_pending_routes(RunState& state,
+                                          TimePoint now) const {
+  if (state.pending_routes.empty()) return;
+  std::vector<std::pair<InstructionId, QubitId>> pending;
+  pending.swap(state.pending_routes);
+  for (const auto& [id, qubit] : pending) {
+    if (!try_dispatch_operand(state, id, qubit, now)) {
+      state.pending_routes.emplace_back(id, qubit);
+    }
+  }
+}
+
+void EventSimulator::dispatch_qubit(RunState& state, InstructionId id,
+                                    QubitId qubit, const RoutedPath& path,
+                                    TimePoint now,
+                                    Event::Kind arrival_kind) const {
+  const TrapId origin = state.qubit_trap[qubit.index()];
+  erase_occupant(state.trap_occupants[origin.index()], qubit);
+  state.qubit_trap[qubit.index()] = TrapId::invalid();
+
+  TimePoint t = now;
+  for (const PathStep& step : path.steps) {
+    MicroOp op;
+    op.kind = step.kind == StepKind::Move ? MicroOpKind::Move
+                                          : MicroOpKind::Turn;
+    op.instruction = id;
+    op.qubit = qubit;
+    op.from = step.from;
+    op.to = step.to;
+    op.start = t;
+    op.end = t + step.duration;
+    state.trace.add(op);
+    t = op.end;
+    if (step.kind == StepKind::Move) {
+      ++state.stats.moves;
+    } else {
+      ++state.stats.turns;
+    }
+  }
+
+  for (const ResourceUse& use : path.resource_uses) {
+    Event event;
+    event.time = now + use.exit_offset;
+    event.seq = state.next_seq++;
+    event.kind = Event::Kind::ResourceRelease;
+    event.resource = use.resource;
+    state.events.push(event);
+  }
+
+  Event arrival;
+  arrival.time = now + path.total_delay();
+  arrival.seq = state.next_seq++;
+  arrival.kind = arrival_kind;
+  arrival.instruction = id;
+  arrival.qubit = qubit;
+  state.events.push(arrival);
+}
+
+void EventSimulator::start_gate(RunState& state, InstructionId id, TrapId trap,
+                                TimePoint now) const {
+  const Instruction& instr = graph_->instruction(id);
+  state.trap_reserved_by[trap.index()] = id;
+  state.timings[id.index()].gate_start = now;
+  state.timings[id.index()].trap = trap;
+  const Duration delay = gate_delay(instr.kind, options_.tech);
+
+  MicroOp op;
+  op.kind = MicroOpKind::Gate;
+  op.instruction = id;
+  op.from = fabric_->trap(trap).position;
+  op.to = op.from;
+  op.start = now;
+  op.end = now + delay;
+  state.trace.add(op);
+
+  Event finished;
+  finished.time = now + delay;
+  finished.seq = state.next_seq++;
+  finished.kind = Event::Kind::GateFinished;
+  finished.instruction = id;
+  state.events.push(finished);
+}
+
+void EventSimulator::finish_gate(RunState& state, InstructionId id,
+                                 TimePoint now) const {
+  state.timings[id.index()].gate_end = now;
+  state.gate_done[id.index()] = true;
+  const TrapId trap = state.timings[id.index()].trap;
+  require(state.trap_reserved_by[trap.index()] == id,
+          "gate finished in a trap reserved by someone else");
+  state.trap_reserved_by[trap.index()] = InstructionId::invalid();
+
+  if (options_.return_home_after_gate) {
+    // QUALE storage discipline: visiting ions shuttle back before dependents
+    // may proceed.
+    const Instruction& instr = graph_->instruction(id);
+    for (const QubitId operand : instr.operands()) {
+      if (state.qubit_trap[operand.index()] !=
+          state.home_trap[operand.index()]) {
+        if (!initiate_return(state, id, operand, now)) {
+          state.deferred_returns.emplace_back(id, operand);
+          ++state.pending_returns[id.index()];
+        }
+      }
+    }
+  }
+  if (state.pending_returns[id.index()] == 0) {
+    complete_instruction(state, id, now);
+  }
+}
+
+void EventSimulator::complete_instruction(RunState& state, InstructionId id,
+                                          TimePoint now) const {
+  ++state.done_count;
+  for (const InstructionId succ : graph_->successors(id)) {
+    if (--state.remaining_preds[succ.index()] == 0) {
+      become_ready(state, succ, now);
+    }
+  }
+}
+
+bool EventSimulator::initiate_return(RunState& state, InstructionId id,
+                                     QubitId qubit, TimePoint now) const {
+  const TrapId origin = state.qubit_trap[qubit.index()];
+  require(origin.is_valid(), "returning qubit is not parked");
+  const TrapId home = state.home_trap[qubit.index()];
+
+  // Preferred target is the home trap; fall back to the nearest empty trap
+  // when something else claimed it in the meantime.
+  TrapId target = home;
+  const bool home_free =
+      state.trap_occupants[home.index()].empty() &&
+      !state.trap_reserved_by[home.index()].is_valid();
+  if (!home_free) {
+    const auto fallback =
+        find_empty_trap(state, fabric_->trap(home).position);
+    if (!fallback.has_value()) return false;
+    target = *fallback;
+  }
+
+  auto path = router_.route_trap_to_trap(origin, target, state.congestion);
+  if (!path.has_value()) return false;
+
+  state.trap_reserved_by[target.index()] = id;
+  state.return_target[qubit.index()] = target;
+  for (const ResourceUse& use : path->resource_uses) {
+    state.congestion.acquire(use.resource);
+  }
+  ++state.pending_returns[id.index()];
+  dispatch_qubit(state, id, qubit, *path, now,
+                 Event::Kind::ReturnArrived);
+  return true;
+}
+
+void EventSimulator::retry_deferred_returns(RunState& state,
+                                            TimePoint now) const {
+  if (state.deferred_returns.empty()) return;
+  std::vector<std::pair<InstructionId, QubitId>> pending;
+  pending.swap(state.deferred_returns);
+  for (const auto& [id, qubit] : pending) {
+    // The pending_returns slot was counted when the return was deferred.
+    --state.pending_returns[id.index()];
+    if (!initiate_return(state, id, qubit, now)) {
+      state.deferred_returns.emplace_back(id, qubit);
+      ++state.pending_returns[id.index()];
+    }
+  }
+}
+
+bool EventSimulator::trap_available(const RunState& state, TrapId trap,
+                                    const Instruction& instr) const {
+  const InstructionId holder = state.trap_reserved_by[trap.index()];
+  if (holder.is_valid() && holder != instr.id) return false;
+  for (const QubitId occupant : state.trap_occupants[trap.index()]) {
+    if (!instr.uses(occupant)) return false;
+  }
+  return true;
+}
+
+std::optional<TrapId> EventSimulator::find_target_trap(
+    const RunState& state, Position anchor, const Instruction& instr) const {
+  if (options_.trap_selection == TrapSelectionPolicy::NearestToAnchor) {
+    for (const TrapId trap : fabric_->traps_by_distance(anchor)) {
+      if (trap_available(state, trap, instr)) return trap;
+    }
+    return std::nullopt;
+  }
+
+  // CongestionAware: collect the nearest available candidates and pick the
+  // one whose access channels carry the least load (ties: nearer first).
+  std::optional<TrapId> best;
+  int best_load = 0;
+  int collected = 0;
+  for (const TrapId trap : fabric_->traps_by_distance(anchor)) {
+    if (!trap_available(state, trap, instr)) continue;
+    int load = 0;
+    for (const TrapPort& port : fabric_->trap(trap).ports) {
+      const SegmentId segment = fabric_->segment_at(port.channel_cell);
+      if (segment.is_valid()) load += state.congestion.segment_load(segment);
+    }
+    if (!best.has_value() || load < best_load) {
+      best = trap;
+      best_load = load;
+    }
+    if (++collected >= options_.trap_candidates) break;
+  }
+  return best;
+}
+
+std::optional<TrapId> EventSimulator::find_empty_trap(const RunState& state,
+                                                      Position anchor) const {
+  for (const TrapId trap : fabric_->traps_by_distance(anchor)) {
+    if (state.trap_occupants[trap.index()].empty() &&
+        !state.trap_reserved_by[trap.index()].is_valid()) {
+      return trap;
+    }
+  }
+  return std::nullopt;
+}
+
+Position EventSimulator::qubit_position(const RunState& state,
+                                        QubitId qubit) const {
+  const TrapId trap = state.qubit_trap[qubit.index()];
+  require(trap.is_valid(), "qubit position queried while in transit");
+  return fabric_->trap(trap).position;
+}
+
+ExecutionResult EventSimulator::run(const Placement& initial) {
+  RunState state(fabric_->segment_count(), fabric_->junction_count());
+  initialise(state, initial);
+  try_issue(state, 0);
+
+  while (!state.events.empty()) {
+    const Event event = state.events.top();
+    state.events.pop();
+    const TimePoint now = event.time;
+    bool fabric_changed = false;
+
+    switch (event.kind) {
+      case Event::Kind::ResourceRelease:
+        state.congestion.release(event.resource);
+        fabric_changed = true;
+        break;
+      case Event::Kind::QubitArrived: {
+        const InstructionId id = event.instruction;
+        // The reserved target trap was recorded at issue time.
+        const TrapId destination = state.timings[id.index()].trap;
+        require(destination.is_valid(),
+                "arrival for an instruction with no reserved trap");
+        state.qubit_trap[event.qubit.index()] = destination;
+        state.trap_occupants[destination.index()].push_back(event.qubit);
+        if (!graph_->instruction(id).is_two_qubit()) {
+          // A 1-qubit relocation settles the qubit in a new home.
+          state.home_trap[event.qubit.index()] = destination;
+        }
+        if (--state.pending_arrivals[id.index()] == 0) {
+          start_gate(state, id, destination, now);
+        }
+        break;
+      }
+      case Event::Kind::ReturnArrived: {
+        const InstructionId id = event.instruction;
+        const QubitId qubit = event.qubit;
+        const TrapId destination = state.return_target[qubit.index()];
+        require(destination.is_valid(), "return without a target trap");
+        state.return_target[qubit.index()] = TrapId::invalid();
+        require(state.trap_reserved_by[destination.index()] == id,
+                "return target reservation lost");
+        state.trap_reserved_by[destination.index()] =
+            InstructionId::invalid();
+        state.qubit_trap[qubit.index()] = destination;
+        state.trap_occupants[destination.index()].push_back(qubit);
+        state.home_trap[qubit.index()] = destination;
+        if (--state.pending_returns[id.index()] == 0 &&
+            state.gate_done[id.index()]) {
+          complete_instruction(state, id, now);
+        }
+        fabric_changed = true;  // a trap reservation was freed
+        break;
+      }
+      case Event::Kind::GateFinished:
+        finish_gate(state, event.instruction, now);
+        fabric_changed = true;
+        break;
+    }
+
+    if (fabric_changed) {
+      retry_pending_routes(state, now);
+      retry_deferred_returns(state, now);
+      retry_busy(state, now);
+      try_issue(state, now);
+    }
+  }
+
+  if (state.done_count != graph_->node_count()) {
+    throw SimulationError(
+        "execution stalled: " +
+        std::to_string(graph_->node_count() - state.done_count) +
+        " instruction(s) cannot be placed/routed on this fabric");
+  }
+
+  ExecutionResult result;
+  result.initial_placement = initial;
+  result.trace = std::move(state.trace);
+  result.trace.sort_by_time();
+  result.latency = result.trace.makespan();
+  result.timings = std::move(state.timings);
+  result.stats = state.stats;
+  result.stats.total_routing = 0;
+  result.stats.total_congestion = 0;
+  for (const InstructionTiming& timing : result.timings) {
+    result.stats.total_routing += timing.t_routing();
+    result.stats.total_congestion += timing.t_congestion();
+  }
+  result.final_placement = Placement(graph_->qubit_count());
+  for (std::size_t q = 0; q < graph_->qubit_count(); ++q) {
+    result.final_placement.set(QubitId::from_index(q), state.qubit_trap[q]);
+  }
+  return result;
+}
+
+ExecutionResult execute_circuit(const DependencyGraph& graph,
+                                const Fabric& fabric,
+                                const RoutingGraph& routing_graph,
+                                const std::vector<int>& schedule_rank,
+                                const Placement& initial,
+                                const ExecutionOptions& options) {
+  EventSimulator simulator(graph, fabric, routing_graph, schedule_rank,
+                           options);
+  return simulator.run(initial);
+}
+
+}  // namespace qspr

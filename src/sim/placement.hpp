@@ -1,0 +1,37 @@
+// Qubit-to-trap placement. An initial placement seeds an execution; the
+// execution's final placement (where qubits ended up) seeds the next MVFB
+// run (paper §IV.A).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "fabric/fabric.hpp"
+
+namespace qspr {
+
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(std::size_t qubit_count)
+      : traps_(qubit_count, TrapId::invalid()) {}
+
+  [[nodiscard]] std::size_t qubit_count() const { return traps_.size(); }
+
+  void set(QubitId qubit, TrapId trap);
+  [[nodiscard]] TrapId trap_of(QubitId qubit) const;
+
+  [[nodiscard]] bool is_complete() const;
+
+  /// Throws ValidationError unless every qubit sits in a distinct-enough
+  /// valid trap: at most `trap_capacity` qubits per trap (final placements
+  /// may legitimately pair qubits after 2-qubit gates).
+  void validate(const Fabric& fabric, int trap_capacity = 1) const;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+
+ private:
+  std::vector<TrapId> traps_;
+};
+
+}  // namespace qspr

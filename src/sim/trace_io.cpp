@@ -1,0 +1,118 @@
+#include "sim/trace_io.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qspr {
+
+namespace {
+
+std::string position_token(Position p) {
+  return "(" + std::to_string(p.row) + "," + std::to_string(p.col) + ")";
+}
+
+Position parse_position(std::string_view token, int line) {
+  if (token.size() < 5 || token.front() != '(' || token.back() != ')') {
+    throw ParseError("malformed position '" + std::string(token) + "'", line,
+                     1);
+  }
+  const auto fields = split(token.substr(1, token.size() - 2), ',');
+  if (fields.size() != 2 || !is_integer(trim(fields[0])) ||
+      !is_integer(trim(fields[1]))) {
+    throw ParseError("malformed position '" + std::string(token) + "'", line,
+                     1);
+  }
+  return Position{static_cast<int>(parse_integer(trim(fields[0]))),
+                  static_cast<int>(parse_integer(trim(fields[1])))};
+}
+
+}  // namespace
+
+std::string write_trace(const Trace& trace) {
+  std::ostringstream os;
+  os << "# qspr control trace: " << trace.size() << " ops, makespan "
+     << trace.makespan() << "\n";
+  for (const MicroOp& op : trace.ops()) {
+    switch (op.kind) {
+      case MicroOpKind::Move: os << "MOVE "; break;
+      case MicroOpKind::Turn: os << "TURN "; break;
+      case MicroOpKind::Gate: os << "GATE "; break;
+    }
+    if (op.qubit.is_valid()) {
+      os << 'q' << op.qubit.value();
+    } else {
+      os << '-';
+    }
+    os << ' ' << position_token(op.from) << ' ' << position_token(op.to)
+       << ' ' << op.start << ' ' << op.end << " #" << op.instruction.value()
+       << "\n";
+  }
+  return os.str();
+}
+
+Trace parse_trace(std::string_view text) {
+  Trace trace;
+  int line_number = 0;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    ++line_number;
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = trim(text.substr(begin, end - begin));
+    const bool last = end == text.size();
+    begin = end + 1;
+
+    if (line.empty() || line.front() == '#') {
+      if (last) break;
+      continue;
+    }
+    const auto fields = split_whitespace(line);
+    if (fields.size() != 7) {
+      throw ParseError("expected 7 fields in trace line", line_number, 1);
+    }
+
+    MicroOp op;
+    const std::string kind = to_upper(fields[0]);
+    if (kind == "MOVE") {
+      op.kind = MicroOpKind::Move;
+    } else if (kind == "TURN") {
+      op.kind = MicroOpKind::Turn;
+    } else if (kind == "GATE") {
+      op.kind = MicroOpKind::Gate;
+    } else {
+      throw ParseError("unknown op kind '" + kind + "'", line_number, 1);
+    }
+
+    if (fields[1] != "-") {
+      if (fields[1].size() < 2 || fields[1][0] != 'q' ||
+          !is_integer(fields[1].substr(1))) {
+        throw ParseError("malformed qubit token", line_number, 1);
+      }
+      op.qubit = QubitId(static_cast<std::int32_t>(
+          parse_integer(fields[1].substr(1))));
+    }
+    op.from = parse_position(fields[2], line_number);
+    op.to = parse_position(fields[3], line_number);
+    if (!is_integer(fields[4]) || !is_integer(fields[5])) {
+      throw ParseError("malformed time fields", line_number, 1);
+    }
+    op.start = parse_integer(fields[4]);
+    op.end = parse_integer(fields[5]);
+    if (op.end < op.start) {
+      throw ParseError("op ends before it starts", line_number, 1);
+    }
+    if (fields[6].size() < 2 || fields[6][0] != '#' ||
+        !is_integer(fields[6].substr(1))) {
+      throw ParseError("malformed instruction token", line_number, 1);
+    }
+    op.instruction = InstructionId(static_cast<std::int32_t>(
+        parse_integer(fields[6].substr(1))));
+    trace.add(op);
+    if (last) break;
+  }
+  return trace;
+}
+
+}  // namespace qspr

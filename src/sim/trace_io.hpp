@@ -1,0 +1,25 @@
+// Textual serialisation of control traces, so mapped results can be stored,
+// diffed and consumed by downstream tooling (e.g. a machine controller or a
+// visualiser) without linking against the library.
+//
+// Format: one micro-op per line,
+//   MOVE q<qubit> (r,c) (r,c) <start> <end> #<instruction>
+//   TURN q<qubit> (r,c) (r,c) <start> <end> #<instruction>
+//   GATE -       (r,c) (r,c) <start> <end> #<instruction>
+// '#' comment lines and blank lines are ignored when parsing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/trace.hpp"
+
+namespace qspr {
+
+/// Renders the trace; parse_trace(write_trace(t)) reproduces t exactly.
+std::string write_trace(const Trace& trace);
+
+/// Parses the textual form. Throws ParseError on malformed lines.
+Trace parse_trace(std::string_view text);
+
+}  // namespace qspr

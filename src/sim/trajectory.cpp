@@ -1,0 +1,57 @@
+#include "sim/trajectory.hpp"
+
+#include "fabric/text_io.hpp"
+
+namespace qspr {
+
+std::string render_trajectory(const Trace& trace, const Fabric& fabric,
+                              QubitId qubit, const DependencyGraph* graph) {
+  std::string drawing = render_fabric(fabric);
+  const std::size_t stride = static_cast<std::size_t>(fabric.cols()) + 1;
+  const auto mark = [&](Position p, char glyph) {
+    if (!fabric.in_bounds(p)) return;
+    char& cell = drawing[static_cast<std::size_t>(p.row) * stride +
+                         static_cast<std::size_t>(p.col)];
+    // Gates dominate turns dominate moves.
+    if (cell == '@' || (cell == 'o' && glyph == '*')) return;
+    cell = glyph;
+  };
+
+  for (const MicroOp& op : trace.ops()) {
+    switch (op.kind) {
+      case MicroOpKind::Move:
+        if (op.qubit == qubit) {
+          mark(op.from, '*');
+          mark(op.to, '*');
+        }
+        break;
+      case MicroOpKind::Turn:
+        if (op.qubit == qubit) mark(op.from, 'o');
+        break;
+      case MicroOpKind::Gate:
+        if (graph == nullptr ||
+            graph->instruction(op.instruction).uses(qubit)) {
+          mark(op.from, '@');
+        }
+        break;
+    }
+  }
+  return drawing;
+}
+
+TravelSummary summarize_travel(const Trace& trace, QubitId qubit) {
+  TravelSummary summary;
+  for (const MicroOp& op : trace.ops()) {
+    if (op.qubit != qubit) continue;
+    if (op.kind == MicroOpKind::Move) {
+      ++summary.moves;
+      summary.travel_time += op.end - op.start;
+    } else if (op.kind == MicroOpKind::Turn) {
+      ++summary.turns;
+      summary.travel_time += op.end - op.start;
+    }
+  }
+  return summary;
+}
+
+}  // namespace qspr

@@ -1,0 +1,31 @@
+// Qubit trajectory rendering: overlay the path(s) a qubit took during an
+// execution onto the fabric drawing — the visual counterpart of the
+// micro-command trace, for debugging routing decisions.
+#pragma once
+
+#include <string>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/ids.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/trace.hpp"
+
+namespace qspr {
+
+/// Renders the fabric with the cells `qubit` visited marked: '*' for cells
+/// moved through, 'o' for cells where it turned, '@' for traps where it
+/// executed gates (gates are attributed via `graph`; when null, every gate
+/// site in the trace is marked). Other cells use the standard legend.
+std::string render_trajectory(const Trace& trace, const Fabric& fabric,
+                              QubitId qubit,
+                              const DependencyGraph* graph = nullptr);
+
+/// Total distance travelled (cells) and turns taken by `qubit` in `trace`.
+struct TravelSummary {
+  int moves = 0;
+  int turns = 0;
+  Duration travel_time = 0;  // moves + turns, weighted by their durations
+};
+TravelSummary summarize_travel(const Trace& trace, QubitId qubit);
+
+}  // namespace qspr

@@ -1,0 +1,210 @@
+#include "sim/utilization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qspr {
+
+namespace {
+
+struct Interval {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+};
+
+std::vector<Interval> merge_intervals(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<Interval> merged;
+  for (const Interval& iv : intervals) {
+    if (!merged.empty() && iv.begin <= merged.back().end) {
+      merged.back().end = std::max(merged.back().end, iv.end);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+ResourceUtilization analyze_utilization(const Trace& trace,
+                                        const Fabric& fabric) {
+  ResourceUtilization result;
+  result.segment_busy.assign(fabric.segment_count(), 0);
+  result.junction_busy.assign(fabric.junction_count(), 0);
+  result.segment_peak.assign(fabric.segment_count(), 0);
+  result.makespan = trace.makespan();
+
+  // (resource, qubit) -> raw presence intervals.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<Interval>>
+      segment_touches;
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<Interval>>
+      junction_touches;
+  for (const MicroOp& op : trace.ops()) {
+    if (op.kind == MicroOpKind::Gate) continue;
+    for (const Position cell : {op.from, op.to}) {
+      const SegmentId segment = fabric.segment_at(cell);
+      if (segment.is_valid()) {
+        segment_touches[{segment.value(), op.qubit.value()}].push_back(
+            {op.start, op.end});
+      }
+      const JunctionId junction = fabric.junction_at(cell);
+      if (junction.is_valid()) {
+        junction_touches[{junction.value(), op.qubit.value()}].push_back(
+            {op.start, op.end});
+      }
+    }
+  }
+
+  // Merge per qubit, then take the union per resource for busy time and a
+  // sweep for peak occupancy.
+  std::map<std::int32_t, std::vector<Interval>> segment_episodes;
+  for (auto& [key, intervals] : segment_touches) {
+    for (const Interval& iv : merge_intervals(std::move(intervals))) {
+      segment_episodes[key.first].push_back(iv);
+    }
+  }
+  for (auto& [segment, episodes] : segment_episodes) {
+    // Peak: sweep.
+    std::vector<std::pair<TimePoint, int>> events;
+    for (const Interval& iv : episodes) {
+      events.emplace_back(iv.begin, +1);
+      events.emplace_back(iv.end, -1);
+    }
+    std::sort(events.begin(), events.end());
+    int current = 0;
+    int peak = 0;
+    for (const auto& [time, delta] : events) {
+      current += delta;
+      peak = std::max(peak, current);
+    }
+    result.segment_peak[static_cast<std::size_t>(segment)] = peak;
+    // Busy: union across qubits.
+    Duration busy = 0;
+    for (const Interval& iv : merge_intervals(std::move(episodes))) {
+      busy += iv.end - iv.begin;
+    }
+    result.segment_busy[static_cast<std::size_t>(segment)] = busy;
+  }
+
+  std::map<std::int32_t, std::vector<Interval>> junction_episodes;
+  for (auto& [key, intervals] : junction_touches) {
+    for (const Interval& iv : merge_intervals(std::move(intervals))) {
+      junction_episodes[key.first].push_back(iv);
+    }
+  }
+  for (auto& [junction, episodes] : junction_episodes) {
+    Duration busy = 0;
+    for (const Interval& iv : merge_intervals(std::move(episodes))) {
+      busy += iv.end - iv.begin;
+    }
+    result.junction_busy[static_cast<std::size_t>(junction)] = busy;
+  }
+  return result;
+}
+
+std::string utilization_summary(const ResourceUtilization& utilization,
+                                const Fabric& fabric, int top_n) {
+  std::vector<SegmentId> order(fabric.segment_count());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = SegmentId::from_index(i);
+  }
+  std::sort(order.begin(), order.end(), [&](SegmentId a, SegmentId b) {
+    return utilization.segment_busy[a.index()] >
+           utilization.segment_busy[b.index()];
+  });
+
+  Duration total_busy = 0;
+  int used = 0;
+  for (const Duration busy : utilization.segment_busy) {
+    total_busy += busy;
+    if (busy > 0) ++used;
+  }
+
+  std::ostringstream os;
+  os << "channel utilisation: " << used << "/" << fabric.segment_count()
+     << " segments used, total busy time " << total_busy << " us over a "
+     << utilization.makespan << " us makespan\n";
+  os << "busiest segments:\n";
+  for (int i = 0; i < top_n && i < static_cast<int>(order.size()); ++i) {
+    const SegmentId id = order[static_cast<std::size_t>(i)];
+    if (utilization.segment_busy[id.index()] == 0) break;
+    const ChannelSegment& segment = fabric.segment(id);
+    os << "  segment " << id.value() << " at "
+       << to_string(segment.cells.front()) << ".."
+       << to_string(segment.cells.back()) << ": busy "
+       << utilization.segment_busy[id.index()] << " us ("
+       << static_cast<int>(100.0 * utilization.segment_busy_fraction(id))
+       << "%), peak occupancy " << utilization.segment_peak[id.index()]
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string render_heatmap(const ResourceUtilization& utilization,
+                           const Fabric& fabric) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(fabric.rows()) *
+              static_cast<std::size_t>(fabric.cols() + 1));
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      const Position p{row, col};
+      switch (fabric.cell(p)) {
+        case CellType::Empty: out += ' '; break;
+        case CellType::Junction: out += 'J'; break;
+        case CellType::Trap: out += 'T'; break;
+        case CellType::Channel: {
+          const double fraction =
+              utilization.segment_busy_fraction(fabric.segment_at(p));
+          const int decile = std::min(9, static_cast<int>(fraction * 10.0));
+          out += static_cast<char>('0' + decile);
+          break;
+        }
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_gantt(const std::vector<InstructionTiming>& timings,
+                         const DependencyGraph& graph, int width) {
+  TimePoint makespan = 0;
+  for (const InstructionTiming& t : timings) {
+    makespan = std::max(makespan, t.gate_end);
+  }
+  if (makespan == 0 || timings.empty()) return "(empty execution)\n";
+
+  const auto column = [&](TimePoint t) {
+    return static_cast<int>((t * (width - 1)) / makespan);
+  };
+
+  std::ostringstream os;
+  os << "time 0 .. " << makespan
+     << " us   ('.' waiting, '-' routing, '#' gate)\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    const InstructionTiming& t = timings[i];
+    std::string row(static_cast<std::size_t>(width), ' ');
+    for (int c = column(t.ready); c < column(t.issue); ++c) {
+      row[static_cast<std::size_t>(c)] = '.';
+    }
+    for (int c = column(t.issue); c < column(t.gate_start); ++c) {
+      row[static_cast<std::size_t>(c)] = '-';
+    }
+    for (int c = column(t.gate_start); c <= column(t.gate_end - 1); ++c) {
+      row[static_cast<std::size_t>(c)] = '#';
+    }
+    const Instruction& instr =
+        graph.instruction(InstructionId::from_index(i));
+    std::ostringstream label;
+    label << '#' << i << ' ' << mnemonic(instr.kind);
+    os << row << "  " << label.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace qspr

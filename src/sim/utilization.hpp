@@ -1,0 +1,52 @@
+// Post-mapping analysis of a control trace: per-resource utilisation (how
+// busy each channel segment and junction was), an ASCII fabric heat map, and
+// an instruction-level Gantt chart. These reports make the congestion
+// behaviour behind the paper's Table 2 visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/time.hpp"
+#include "fabric/fabric.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/trace.hpp"
+
+namespace qspr {
+
+struct ResourceUtilization {
+  /// Busy time (any qubit inside) per channel segment / junction.
+  std::vector<Duration> segment_busy;
+  std::vector<Duration> junction_busy;
+  /// Peak simultaneous occupancy per segment.
+  std::vector<int> segment_peak;
+  Duration makespan = 0;
+
+  [[nodiscard]] double segment_busy_fraction(SegmentId id) const {
+    return makespan > 0 ? static_cast<double>(segment_busy[id.index()]) /
+                              static_cast<double>(makespan)
+                        : 0.0;
+  }
+};
+
+/// Reconstructs resource occupancy from the micro-ops (cells touched by
+/// moves and turns, merged per qubit into presence episodes).
+ResourceUtilization analyze_utilization(const Trace& trace,
+                                        const Fabric& fabric);
+
+/// One-paragraph summary: busiest segments, mean/max busy fractions.
+std::string utilization_summary(const ResourceUtilization& utilization,
+                                const Fabric& fabric, int top_n = 5);
+
+/// ASCII heat map of the fabric: channel cells drawn as digits 0..9
+/// (busy-fraction deciles), junctions as J, traps as T.
+std::string render_heatmap(const ResourceUtilization& utilization,
+                           const Fabric& fabric);
+
+/// Instruction-level Gantt chart of the execution. Each row is one
+/// instruction: '.' waiting (congestion), '-' routing, '#' gate operation.
+std::string render_gantt(const std::vector<InstructionTiming>& timings,
+                         const DependencyGraph& graph, int width = 72);
+
+}  // namespace qspr

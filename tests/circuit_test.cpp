@@ -1,0 +1,289 @@
+// Unit tests for the circuit IR: gates, programs, and the QIDG/UIDG
+// dependency graph with its ideal-timing analyses.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuit/dependency_graph.hpp"
+#include "circuit/dot.hpp"
+#include "circuit/gate.hpp"
+#include "circuit/program.hpp"
+#include "common/error.hpp"
+
+namespace qspr {
+namespace {
+
+Program two_qubit_chain(int qubits, int gates) {
+  Program program("chain");
+  std::vector<QubitId> q;
+  for (int i = 0; i < qubits; ++i) {
+    q.push_back(program.add_qubit("q" + std::to_string(i), 0));
+  }
+  for (int g = 0; g < gates; ++g) {
+    program.add_gate(GateKind::CX, q[static_cast<std::size_t>(g % qubits)],
+                     q[static_cast<std::size_t>((g + 1) % qubits)]);
+  }
+  return program;
+}
+
+TEST(Gate, Arity) {
+  EXPECT_EQ(arity(GateKind::H), 1);
+  EXPECT_EQ(arity(GateKind::Measure), 1);
+  EXPECT_EQ(arity(GateKind::CX), 2);
+  EXPECT_EQ(arity(GateKind::Swap), 2);
+  EXPECT_TRUE(is_two_qubit(GateKind::CZ));
+  EXPECT_TRUE(is_one_qubit(GateKind::Tdg));
+}
+
+TEST(Gate, InverseIsInvolution) {
+  for (const GateKind kind :
+       {GateKind::H, GateKind::X, GateKind::Y, GateKind::Z, GateKind::S,
+        GateKind::Sdg, GateKind::T, GateKind::Tdg, GateKind::CX, GateKind::CY,
+        GateKind::CZ, GateKind::Swap, GateKind::Measure}) {
+    EXPECT_EQ(inverse_of(inverse_of(kind)), kind);
+  }
+  EXPECT_EQ(inverse_of(GateKind::S), GateKind::Sdg);
+  EXPECT_EQ(inverse_of(GateKind::T), GateKind::Tdg);
+  EXPECT_EQ(inverse_of(GateKind::H), GateKind::H);
+  EXPECT_EQ(inverse_of(GateKind::CX), GateKind::CX);
+}
+
+TEST(Gate, DelaysFollowTechnologyParams) {
+  TechnologyParams params;
+  EXPECT_EQ(gate_delay(GateKind::H, params), 10);
+  EXPECT_EQ(gate_delay(GateKind::CX, params), 100);
+  EXPECT_EQ(gate_delay(GateKind::Measure, params), 10);
+  params.t_gate_2q = 250;
+  EXPECT_EQ(gate_delay(GateKind::CZ, params), 250);
+}
+
+TEST(Program, AddAndLookupQubits) {
+  Program program;
+  const QubitId a = program.add_qubit("alice", 0);
+  const QubitId b = program.add_qubit("bob");
+  EXPECT_EQ(program.qubit_count(), 2u);
+  EXPECT_EQ(program.qubit(a).name, "alice");
+  EXPECT_EQ(program.qubit(a).init_value, 0);
+  EXPECT_FALSE(program.qubit(b).init_value.has_value());
+  EXPECT_EQ(program.find_qubit("bob"), b);
+  EXPECT_FALSE(program.find_qubit("carol").is_valid());
+}
+
+TEST(Program, RejectsDuplicateAndEmptyNames) {
+  Program program;
+  program.add_qubit("q0");
+  EXPECT_THROW(program.add_qubit("q0"), ValidationError);
+  EXPECT_THROW(program.add_qubit(""), Error);
+  EXPECT_THROW(program.add_qubit("q1", 2), ValidationError);
+}
+
+TEST(Program, RejectsWrongArityOverloads) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  EXPECT_THROW(program.add_gate(GateKind::CX, a), Error);
+  EXPECT_THROW(program.add_gate(GateKind::H, a, b), Error);
+  EXPECT_THROW(program.add_gate(GateKind::CX, a, a), ValidationError);
+}
+
+TEST(Program, GateCounts) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CZ, b, a);
+  EXPECT_EQ(program.one_qubit_gate_count(), 1u);
+  EXPECT_EQ(program.two_qubit_gate_count(), 2u);
+  EXPECT_EQ(program.instruction_count(), 3u);
+}
+
+TEST(Program, InstructionOperands) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const InstructionId h = program.add_gate(GateKind::H, a);
+  const InstructionId cx = program.add_gate(GateKind::CX, a, b);
+  EXPECT_EQ(program.instruction(h).operands(),
+            (std::vector<QubitId>{a}));
+  EXPECT_EQ(program.instruction(cx).operands(),
+            (std::vector<QubitId>{a, b}));
+  EXPECT_TRUE(program.instruction(cx).uses(a));
+  EXPECT_TRUE(program.instruction(cx).uses(b));
+  EXPECT_FALSE(program.instruction(h).uses(b));
+}
+
+TEST(DependencyGraph, ChainsPerQubitUses) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const InstructionId g0 = program.add_gate(GateKind::H, a);
+  const InstructionId g1 = program.add_gate(GateKind::CX, a, b);
+  const InstructionId g2 = program.add_gate(GateKind::CX, b, c);
+  const InstructionId g3 = program.add_gate(GateKind::H, a);
+
+  const DependencyGraph graph = DependencyGraph::build(program);
+  EXPECT_TRUE(graph.predecessors(g0).empty());
+  EXPECT_EQ(graph.predecessors(g1), (std::vector<InstructionId>{g0}));
+  EXPECT_EQ(graph.predecessors(g2), (std::vector<InstructionId>{g1}));
+  EXPECT_EQ(graph.predecessors(g3), (std::vector<InstructionId>{g1}));
+  EXPECT_EQ(graph.successors(g1), (std::vector<InstructionId>{g2, g3}));
+  EXPECT_EQ(graph.sources(), (std::vector<InstructionId>{g0}));
+  const auto sinks = graph.sinks();
+  EXPECT_EQ(sinks.size(), 2u);
+}
+
+TEST(DependencyGraph, DeduplicatesDoubleEdges) {
+  // Two consecutive gates on the same qubit pair produce one edge.
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const InstructionId g0 = program.add_gate(GateKind::CX, a, b);
+  const InstructionId g1 = program.add_gate(GateKind::CZ, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  EXPECT_EQ(graph.successors(g0).size(), 1u);
+  EXPECT_EQ(graph.predecessors(g1).size(), 1u);
+}
+
+TEST(DependencyGraph, TopologicalOrderRespectsEdges) {
+  const Program program = two_qubit_chain(5, 20);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const auto order = graph.topological_order();
+  ASSERT_EQ(order.size(), graph.node_count());
+  std::vector<std::size_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[order[i].index()] = i;
+  }
+  for (const Instruction& instr : graph.instructions()) {
+    for (const InstructionId succ : graph.successors(instr.id)) {
+      EXPECT_LT(position[instr.id.index()], position[succ.index()]);
+    }
+  }
+}
+
+TEST(DependencyGraph, ReversedSwapsEdgesAndInvertsGates) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const InstructionId g0 = program.add_gate(GateKind::S, a);
+  const InstructionId g1 = program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const DependencyGraph reversed = graph.reversed();
+
+  EXPECT_EQ(reversed.instruction(g0).kind, GateKind::Sdg);
+  EXPECT_EQ(reversed.instruction(g1).kind, GateKind::CX);
+  EXPECT_EQ(reversed.predecessors(g0), (std::vector<InstructionId>{g1}));
+  EXPECT_TRUE(reversed.predecessors(g1).empty());
+}
+
+TEST(DependencyGraph, ReversalIsInvolutionOnStructure) {
+  const Program program = two_qubit_chain(6, 30);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const DependencyGraph twice = graph.reversed().reversed();
+  ASSERT_EQ(twice.node_count(), graph.node_count());
+  for (const Instruction& instr : graph.instructions()) {
+    EXPECT_EQ(twice.instruction(instr.id).kind, instr.kind);
+    EXPECT_EQ(twice.predecessors(instr.id), graph.predecessors(instr.id));
+    EXPECT_EQ(twice.successors(instr.id), graph.successors(instr.id));
+  }
+}
+
+TEST(DependencyGraph, AsapAlapAndCriticalPath) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  program.add_gate(GateKind::H, a);           // 0..10
+  program.add_gate(GateKind::CX, a, b);       // 10..110
+  program.add_gate(GateKind::H, c);           // 0..10 (slack until 110)
+  program.add_gate(GateKind::CX, b, c);       // 110..210
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const TechnologyParams params;
+
+  EXPECT_EQ(graph.critical_path_latency(params), 210);
+  const auto asap = graph.asap_start_times(params);
+  const auto alap = graph.alap_start_times(params);
+  EXPECT_EQ(asap[0], 0);
+  EXPECT_EQ(asap[1], 10);
+  EXPECT_EQ(asap[3], 110);
+  EXPECT_EQ(alap[0], 0);    // on the critical path: no slack
+  EXPECT_EQ(alap[2], 100);  // H c can start as late as 100
+  for (std::size_t i = 0; i < asap.size(); ++i) {
+    EXPECT_LE(asap[i], alap[i]) << "instruction " << i;
+  }
+}
+
+TEST(DependencyGraph, LongestPathToSinkIncludesOwnDelay) {
+  const Program program = two_qubit_chain(3, 3);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const TechnologyParams params;
+  const auto longest = graph.longest_path_to_sink(params);
+  // Chain of 3 CX gates: 300, 200, 100.
+  EXPECT_EQ(longest[0], 300);
+  EXPECT_EQ(longest[1], 200);
+  EXPECT_EQ(longest[2], 100);
+}
+
+TEST(DependencyGraph, DescendantCounts) {
+  const Program program = two_qubit_chain(3, 4);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const auto counts = graph.descendant_counts();
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(DependencyGraph, DescendantDelaySums) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);  // descendants: H + CX = 110
+  program.add_gate(GateKind::H, a);      // descendants: CX = 100
+  program.add_gate(GateKind::CX, a, b);  // descendants: none
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const auto sums = graph.descendant_delay_sums(TechnologyParams{});
+  EXPECT_EQ(sums[0], 110);
+  EXPECT_EQ(sums[1], 100);
+  EXPECT_EQ(sums[2], 0);
+}
+
+TEST(DependencyGraph, DiamondDependency) {
+  // g0 -> g1, g0 -> g2, {g1, g2} -> g3: classic diamond.
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  const InstructionId g0 = program.add_gate(GateKind::CX, a, b);
+  const InstructionId g1 = program.add_gate(GateKind::CX, a, c);
+  const InstructionId g2 = program.add_gate(GateKind::CX, b, d);
+  const InstructionId g3 = program.add_gate(GateKind::CX, c, d);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  EXPECT_EQ(graph.successors(g0).size(), 2u);
+  EXPECT_EQ(graph.predecessors(g3),
+            (std::vector<InstructionId>{g1, g2}));
+  EXPECT_EQ(graph.critical_path_latency(TechnologyParams{}), 300);
+  EXPECT_EQ(graph.descendant_counts()[g0.index()], 3);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Program program;
+  const QubitId a = program.add_qubit("alice");
+  const QubitId b = program.add_qubit("bob");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const std::string dot = to_dot(graph, &program);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("H alice"), std::string::npos);
+  EXPECT_NE(dot.find("C-X alice,bob"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  // Without a program, falls back to q<i> labels.
+  const std::string anonymous = to_dot(graph);
+  EXPECT_NE(anonymous.find("H q0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qspr

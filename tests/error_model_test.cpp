@@ -1,0 +1,110 @@
+// Tests for the fidelity / error model connecting mapped latency to the
+// paper's noise motivation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/error_model.hpp"
+#include "core/mapper.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "qecc/codes.hpp"
+
+namespace qspr {
+namespace {
+
+Trace single_gate_trace(Duration makespan) {
+  Trace trace;
+  MicroOp gate;
+  gate.kind = MicroOpKind::Gate;
+  gate.instruction = InstructionId(0);
+  gate.from = {1, 1};
+  gate.to = {1, 1};
+  gate.start = makespan - 100;
+  gate.end = makespan;
+  trace.add(gate);
+  return trace;
+}
+
+TEST(ErrorModel, ParametersValidated) {
+  ErrorModelParams params;
+  EXPECT_NO_THROW(params.validate());
+  params.error_2q_gate = 1.5;
+  EXPECT_THROW(params.validate(), ValidationError);
+  params = {};
+  params.t2_us = 0.0;
+  EXPECT_THROW(params.validate(), ValidationError);
+  params = {};
+  params.error_move = -0.1;
+  EXPECT_THROW(params.validate(), ValidationError);
+}
+
+TEST(ErrorModel, SingleGateFidelity) {
+  ErrorModelParams params;
+  params.error_2q_gate = 0.01;
+  params.t2_us = 1e9;  // effectively no decoherence
+  const FidelityEstimate estimate =
+      estimate_fidelity(single_gate_trace(100), 2, 1, params);
+  EXPECT_EQ(estimate.gates_2q, 1u);
+  EXPECT_EQ(estimate.gates_1q, 0u);
+  EXPECT_NEAR(estimate.operation_fidelity, 0.99, 1e-9);
+  EXPECT_NEAR(estimate.circuit_fidelity, 0.99, 1e-6);
+}
+
+TEST(ErrorModel, DecoherenceScalesWithLatencyAndQubits) {
+  ErrorModelParams params;
+  params.error_2q_gate = 0.0;
+  params.t2_us = 1000.0;
+  const FidelityEstimate short_run =
+      estimate_fidelity(single_gate_trace(100), 2, 1, params);
+  const FidelityEstimate long_run =
+      estimate_fidelity(single_gate_trace(1000), 2, 1, params);
+  const FidelityEstimate wide_run =
+      estimate_fidelity(single_gate_trace(100), 8, 1, params);
+  EXPECT_GT(short_run.circuit_fidelity, long_run.circuit_fidelity);
+  EXPECT_GT(short_run.circuit_fidelity, wide_run.circuit_fidelity);
+  // exp(-2 * 100/1000) for 2 qubits over 100 us.
+  EXPECT_NEAR(short_run.decoherence_fidelity, std::exp(-0.2), 1e-9);
+}
+
+TEST(ErrorModel, RejectsInconsistentGateCounts) {
+  EXPECT_THROW(estimate_fidelity(single_gate_trace(100), 2, 5), Error);
+}
+
+TEST(ErrorModel, LowerLatencyMappingIsMoreReliable) {
+  // The paper's whole point: QSPR's shorter schedules absorb less noise.
+  const Fabric fabric = make_paper_fabric();
+  const Program program = make_encoder(QeccCode::Q9_1_3);
+
+  MapperOptions qspr_options;
+  qspr_options.mvfb_seeds = 5;
+  MapperOptions quale_options;
+  quale_options.kind = MapperKind::Quale;
+  const MapResult qspr = map_program(program, fabric, qspr_options);
+  const MapResult quale = map_program(program, fabric, quale_options);
+
+  ErrorModelParams params;
+  params.t2_us = 5e4;
+  const FidelityEstimate qspr_fidelity = estimate_fidelity(
+      qspr.trace, program.qubit_count(), program.two_qubit_gate_count(),
+      params);
+  const FidelityEstimate quale_fidelity = estimate_fidelity(
+      quale.trace, program.qubit_count(), program.two_qubit_gate_count(),
+      params);
+  EXPECT_GT(qspr_fidelity.circuit_fidelity, quale_fidelity.circuit_fidelity);
+  EXPECT_GE(reliability_nines(qspr_fidelity),
+            reliability_nines(quale_fidelity));
+}
+
+TEST(ErrorModel, ReliabilityNines) {
+  FidelityEstimate estimate;
+  estimate.circuit_fidelity = 0.9;
+  EXPECT_NEAR(reliability_nines(estimate), 1.0, 1e-9);
+  estimate.circuit_fidelity = 0.999;
+  EXPECT_NEAR(reliability_nines(estimate), 3.0, 1e-9);
+  estimate.circuit_fidelity = 1.0;
+  EXPECT_EQ(reliability_nines(estimate), 16.0);
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,154 @@
+// Tests for the connectivity placer and the linear (QCCD-chain) fabric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/error.hpp"
+#include "core/connectivity_placer.hpp"
+#include "core/mapper.hpp"
+#include "core/placer.hpp"
+#include "fabric/linear_fabric.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "fabric/text_io.hpp"
+#include "qecc/codes.hpp"
+#include "route/routing_graph.hpp"
+#include "sim/event_sim.hpp"
+
+namespace qspr {
+namespace {
+
+TEST(InteractionWeights, CountsSharedTwoQubitGates) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CZ, b, a);
+  program.add_gate(GateKind::CY, b, c);
+  const auto weights = interaction_weights(program);
+  EXPECT_EQ(weights[a.index()][b.index()], 2);
+  EXPECT_EQ(weights[b.index()][a.index()], 2);
+  EXPECT_EQ(weights[b.index()][c.index()], 1);
+  EXPECT_EQ(weights[a.index()][c.index()], 0);
+  EXPECT_EQ(weights[a.index()][a.index()], 0);
+}
+
+TEST(ConnectivityPlacer, ProducesValidDistinctPlacement) {
+  const Fabric fabric = make_paper_fabric();
+  const Program program = make_encoder(QeccCode::Q9_1_3);
+  const Placement placement = connectivity_placement(fabric, program);
+  placement.validate(fabric);
+}
+
+TEST(ConnectivityPlacer, CoLocatesHeavyPartners) {
+  const Fabric fabric = make_paper_fabric();
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  for (int i = 0; i < 8; ++i) program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, c, d);
+
+  const Placement placement = connectivity_placement(fabric, program);
+  const auto distance = [&](QubitId x, QubitId y) {
+    return manhattan_distance(fabric.trap(placement.trap_of(x)).position,
+                              fabric.trap(placement.trap_of(y)).position);
+  };
+  // The heavily-interacting pair sits at least as close as the light pair's
+  // distance to it.
+  EXPECT_LE(distance(a, b), distance(a, c));
+  EXPECT_LE(distance(a, b), distance(a, d));
+}
+
+TEST(ConnectivityPlacer, UsesTheCenterTrapPool) {
+  const Fabric fabric = make_paper_fabric();
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Placement connectivity = connectivity_placement(fabric, program);
+  const Placement center = center_placement(fabric, program.qubit_count());
+  std::set<TrapId> pool;
+  for (std::size_t q = 0; q < program.qubit_count(); ++q) {
+    pool.insert(center.trap_of(QubitId::from_index(q)));
+  }
+  for (std::size_t q = 0; q < program.qubit_count(); ++q) {
+    EXPECT_TRUE(pool.count(connectivity.trap_of(QubitId::from_index(q))));
+  }
+}
+
+TEST(ConnectivityPlacer, ThrowsWhenFabricTooSmall) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const Program program = make_encoder(QeccCode::Q23_1_7);
+  EXPECT_THROW(connectivity_placement(fabric, program), ValidationError);
+}
+
+TEST(LinearFabric, StructureMatchesParameters) {
+  const Fabric fabric = make_linear_fabric(6, 4);
+  EXPECT_EQ(fabric.rows(), 2);
+  EXPECT_EQ(fabric.cols(), 25);
+  EXPECT_EQ(fabric.trap_count(), 6u);
+  EXPECT_EQ(fabric.junction_count(), 7u);
+  EXPECT_EQ(fabric.segment_count(), 6u);
+  for (const Trap& trap : fabric.traps()) {
+    EXPECT_EQ(trap.ports.size(), 1u);
+    EXPECT_EQ(trap.ports[0].direction_from_trap, Direction::North);
+  }
+}
+
+TEST(LinearFabric, RoundTripsThroughText) {
+  const Fabric fabric = make_linear_fabric(4, 4);
+  const Fabric reparsed = parse_fabric(render_fabric(fabric));
+  EXPECT_EQ(reparsed.trap_count(), fabric.trap_count());
+  EXPECT_EQ(reparsed.segment_count(), fabric.segment_count());
+}
+
+TEST(LinearFabric, RejectsBadParameters) {
+  EXPECT_THROW(make_linear_fabric(0), ValidationError);
+  EXPECT_THROW(make_linear_fabric(4, 1), ValidationError);
+}
+
+TEST(LinearFabric, SupportsEndToEndMapping) {
+  const Fabric fabric = make_linear_fabric(8, 4);
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const MapResult result = map_program(program, fabric, options);
+  EXPECT_GE(result.latency, result.ideal_latency);
+  EXPECT_EQ(result.trace.gate_count(), program.instruction_count());
+}
+
+TEST(LinearFabric, CorridorCongestsMoreThanGrid) {
+  // The single shared corridor serialises transport compared to the 2-D
+  // fabric with the same trap budget.
+  const Program program = make_encoder(QeccCode::Q7_1_3);
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const Duration corridor =
+      map_program(program, make_linear_fabric(10, 4), options).latency;
+  const Duration grid =
+      map_program(program, make_quale_fabric({4, 4, 4}), options).latency;
+  EXPECT_GE(corridor, grid);
+}
+
+TEST(ConnectivityPlacerVsCenter, HelpsOnInteractionHeavyCircuits) {
+  // A circuit with strong pairwise structure: connectivity placement should
+  // not be worse than plain center placement when both feed the same
+  // executor. (MVFB beats both; see bench_placers.)
+  const Fabric fabric = make_paper_fabric();
+  const RoutingGraph routing(fabric);
+  const Program program = make_encoder(QeccCode::Q14_8_3);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const ExecutionOptions exec;
+  const auto rank = make_schedule_rank(graph, exec.tech);
+  EventSimulator sim(graph, fabric, routing, rank, exec);
+
+  const Duration connectivity =
+      sim.run(connectivity_placement(fabric, program)).latency;
+  const Duration center =
+      sim.run(center_placement(fabric, program.qubit_count())).latency;
+  EXPECT_LE(connectivity, center + 200);  // at worst marginally behind
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,179 @@
+// End-to-end integration tests: QASM text -> parse -> map -> validated
+// trace, across mappers, fabrics and the full benchmark suite.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "circuit/dependency_graph.hpp"
+#include "core/mapper.hpp"
+#include "core/qspr.hpp"
+#include "sim/trace_validator.hpp"
+
+namespace qspr {
+namespace {
+
+TEST(Integration, QasmTextToMappedTrace) {
+  const Program program = parse_qasm(R"(
+    QUBIT q0,0
+    QUBIT q1,0
+    QUBIT q2,0
+    H q0
+    C-X q0,q1
+    C-X q1,q2
+    MEASURE q2
+  )");
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  MapperOptions options;
+  options.mvfb_seeds = 3;
+  const MapResult result = map_program(program, fabric, options);
+
+  const DependencyGraph graph = DependencyGraph::build(program);
+  EXPECT_EQ(result.ideal_latency, 220);  // H + CX + CX + M
+  EXPECT_GE(result.latency, 220);
+  const auto violations = validate_trace(
+      result.trace, graph, fabric, result.initial_placement, options.tech);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(Integration, FullBenchmarkSuiteOrdering) {
+  // On every paper benchmark: ideal <= QSPR < QUALE, and the trace of each
+  // mapper validates. (QSPR uses the center placer here to keep the suite
+  // fast; the full MVFB comparison lives in the bench harness.)
+  const Fabric fabric = make_paper_fabric();
+  Duration quale_total = 0;
+  Duration qpos_total = 0;
+  for (const PaperNumbers& paper : paper_benchmarks()) {
+    const Program program = make_encoder(paper.code);
+    const DependencyGraph graph = DependencyGraph::build(program);
+
+    MapperOptions qspr;
+    qspr.placer = PlacerKind::Center;
+    MapperOptions quale;
+    quale.kind = MapperKind::Quale;
+    MapperOptions qpos;
+    qpos.kind = MapperKind::Qpos;
+
+    const MapResult qspr_result = map_program(program, fabric, qspr);
+    const MapResult quale_result = map_program(program, fabric, quale);
+    const MapResult qpos_result = map_program(program, fabric, qpos);
+    quale_total += quale_result.latency;
+    qpos_total += qpos_result.latency;
+
+    EXPECT_EQ(qspr_result.ideal_latency, paper.baseline_latency)
+        << code_name(paper.code);
+    EXPECT_GE(qspr_result.latency, qspr_result.ideal_latency);
+    EXPECT_LT(qspr_result.latency, quale_result.latency)
+        << code_name(paper.code);
+
+    for (const MapResult* result :
+         {&qspr_result, &quale_result, &qpos_result}) {
+      const auto violations =
+          validate_trace(result->trace, graph, fabric,
+                         result->initial_placement,
+                         TechnologyParams{});
+      EXPECT_TRUE(violations.empty())
+          << code_name(paper.code) << ": " << violations.size()
+          << " violations";
+    }
+  }
+  // QPOS improves on QUALE across the suite (§I history), though not
+  // necessarily on every single circuit.
+  EXPECT_LE(qpos_total, quale_total);
+}
+
+TEST(Integration, RoutingCongestionGrowsWithCircuitSize) {
+  // Paper §V.B: "T_routing + T_congestion have higher impact on the latency
+  // of larger circuits" — overhead above the ideal baseline grows with the
+  // baseline.
+  const Fabric fabric = make_paper_fabric();
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const Duration small_overhead =
+      map_program(make_encoder(QeccCode::Q5_1_3), fabric, options).latency -
+      510;
+  const Duration large_overhead =
+      map_program(make_encoder(QeccCode::Q14_8_3), fabric, options).latency -
+      2500;
+  EXPECT_GT(large_overhead, small_overhead);
+}
+
+TEST(Integration, FabricFileRoundTripThroughMapping) {
+  // Render a fabric to text, reload it, and map on the reloaded copy: the
+  // result must be identical (deterministic pipeline).
+  const Fabric original = make_quale_fabric({4, 5, 4});
+  const std::string path = ::testing::TempDir() + "qspr_fabric.txt";
+  {
+    std::ofstream out(path);
+    out << render_fabric(original);
+  }
+  const Fabric reloaded = parse_fabric_file(path);
+  std::remove(path.c_str());
+
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  MapperOptions options;
+  options.mvfb_seeds = 2;
+  const MapResult a = map_program(program, original, options);
+  const MapResult b = map_program(program, reloaded, options);
+  EXPECT_EQ(a.latency, b.latency);
+}
+
+TEST(Integration, SmallerFabricsCostMoreCongestion) {
+  // The same circuit on a cramped fabric can only be slower or equal.
+  const Program program = make_encoder(QeccCode::Q9_1_3);
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const Duration cramped =
+      map_program(program, make_quale_fabric({4, 4, 4}), options).latency;
+  const Duration roomy =
+      map_program(program, make_paper_fabric(), options).latency;
+  EXPECT_GE(cramped, roomy);
+}
+
+TEST(Integration, MvfbImprovesOverCenterOnTheSuite) {
+  // The paper's core claim (Table 1/2): searching placements helps. Checked
+  // in aggregate across the three smallest benchmarks to keep runtime low.
+  const Fabric fabric = make_paper_fabric();
+  Duration center_total = 0;
+  Duration mvfb_total = 0;
+  for (const QeccCode code :
+       {QeccCode::Q5_1_3, QeccCode::Q7_1_3, QeccCode::Q9_1_3}) {
+    const Program program = make_encoder(code);
+    MapperOptions center;
+    center.placer = PlacerKind::Center;
+    MapperOptions mvfb;
+    mvfb.placer = PlacerKind::Mvfb;
+    mvfb.mvfb_seeds = 5;
+    center_total += map_program(program, fabric, center).latency;
+    mvfb_total += map_program(program, fabric, mvfb).latency;
+  }
+  EXPECT_LE(mvfb_total, center_total);
+}
+
+TEST(Integration, ReversedScheduleExecutesTheUidg) {
+  // Manual MVFB iteration: forward on QIDG, backward on UIDG from the
+  // forward final placement; both traces validate against their graphs.
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Fabric fabric = make_paper_fabric();
+  const RoutingGraph routing(fabric);
+  const DependencyGraph qidg = DependencyGraph::build(program);
+  const DependencyGraph uidg = qidg.reversed();
+  const auto rank = make_schedule_rank(qidg, TechnologyParams{});
+
+  const Placement start = center_placement(fabric, program.qubit_count());
+  const ExecutionResult forward = execute_circuit(
+      qidg, fabric, routing, rank, start, ExecutionOptions{});
+  const ExecutionResult backward =
+      execute_circuit(uidg, fabric, routing, reversed_rank(rank),
+                      forward.final_placement, ExecutionOptions{});
+
+  EXPECT_TRUE(validate_trace(forward.trace, qidg, fabric, start,
+                             TechnologyParams{})
+                  .empty());
+  EXPECT_TRUE(validate_trace(backward.trace, uidg, fabric,
+                             forward.final_placement, TechnologyParams{})
+                  .empty());
+}
+
+}  // namespace
+}  // namespace qspr

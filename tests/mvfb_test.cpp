@@ -1,0 +1,147 @@
+// Unit tests for the MVFB placer (§IV.A) and the Monte Carlo baseline.
+#include <gtest/gtest.h>
+
+#include "circuit/dependency_graph.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/mvfb.hpp"
+#include "core/placer.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "qecc/codes.hpp"
+#include "sim/trace_validator.hpp"
+
+namespace qspr {
+namespace {
+
+class MvfbTest : public ::testing::Test {
+ protected:
+  MvfbTest()
+      : fabric_(make_quale_fabric({4, 4, 4})),
+        routing_(fabric_),
+        program_(make_encoder(QeccCode::Q5_1_3)),
+        graph_(DependencyGraph::build(program_)),
+        rank_(make_schedule_rank(graph_, TechnologyParams{})) {}
+
+  Fabric fabric_;
+  RoutingGraph routing_;
+  Program program_;
+  DependencyGraph graph_;
+  std::vector<int> rank_;
+  ExecutionOptions exec_;
+};
+
+TEST_F(MvfbTest, ProducesAValidatedForwardTrace) {
+  MvfbPlacer placer(graph_, fabric_, routing_, rank_, exec_,
+                    MvfbOptions{4, 3, 64, 1});
+  const MvfbResult result = placer.place_and_execute();
+
+  ASSERT_LT(result.best_latency, kInfiniteDuration);
+  EXPECT_EQ(result.best_latency, result.best_trace.makespan());
+  // The reported trace must be a physically consistent *forward* execution
+  // from the reported initial placement — this is the §IV.A reversal claim.
+  const auto violations = validate_trace(result.best_trace, graph_, fabric_,
+                                         result.best_initial_placement,
+                                         exec_.tech);
+  EXPECT_TRUE(violations.empty()) << violations.size() << " violations, e.g. "
+                                  << (violations.empty() ? "" : violations[0]);
+}
+
+TEST_F(MvfbTest, BeatsOrMatchesSingleCenterPlacement) {
+  MvfbPlacer placer(graph_, fabric_, routing_, rank_, exec_,
+                    MvfbOptions{6, 3, 64, 1});
+  const MvfbResult result = placer.place_and_execute();
+
+  EventSimulator sim(graph_, fabric_, routing_, rank_, exec_);
+  const ExecutionResult center =
+      sim.run(center_placement(fabric_, graph_.qubit_count()));
+  EXPECT_LE(result.best_latency, center.latency);
+  EXPECT_GE(result.best_latency,
+            graph_.critical_path_latency(exec_.tech));  // ideal lower bound
+}
+
+TEST_F(MvfbTest, RunCountsFollowTheStopRule) {
+  const int seeds = 5;
+  MvfbPlacer placer(graph_, fabric_, routing_, rank_, exec_,
+                    MvfbOptions{seeds, 3, 64, 1});
+  const MvfbResult result = placer.place_and_execute();
+  // Every seed performs at least stop_after runs before giving up.
+  EXPECT_GE(result.total_runs, seeds * 3);
+  EXPECT_LE(result.total_runs, seeds * 64);
+  // Iterations are forward+backward pairs, so runs/2 rounded down.
+  EXPECT_LE(result.total_iterations * 2, result.total_runs);
+  EXPECT_GE(result.total_iterations * 2 + seeds, result.total_runs);
+}
+
+TEST_F(MvfbTest, DeterministicForFixedSeed) {
+  MvfbPlacer a(graph_, fabric_, routing_, rank_, exec_,
+               MvfbOptions{3, 3, 64, 99});
+  MvfbPlacer b(graph_, fabric_, routing_, rank_, exec_,
+               MvfbOptions{3, 3, 64, 99});
+  const MvfbResult ra = a.place_and_execute();
+  const MvfbResult rb = b.place_and_execute();
+  EXPECT_EQ(ra.best_latency, rb.best_latency);
+  EXPECT_EQ(ra.total_runs, rb.total_runs);
+  EXPECT_EQ(ra.best_initial_placement, rb.best_initial_placement);
+}
+
+TEST_F(MvfbTest, MoreSeedsNeverHurt) {
+  MvfbPlacer small(graph_, fabric_, routing_, rank_, exec_,
+                   MvfbOptions{2, 3, 64, 5});
+  MvfbPlacer large(graph_, fabric_, routing_, rank_, exec_,
+                   MvfbOptions{10, 3, 64, 5});
+  // Same RNG stream: the large run explores a superset of seeds.
+  EXPECT_LE(large.place_and_execute().best_latency,
+            small.place_and_execute().best_latency);
+}
+
+TEST_F(MvfbTest, RejectsBadOptions) {
+  EXPECT_THROW(MvfbPlacer(graph_, fabric_, routing_, rank_, exec_,
+                          MvfbOptions{0, 3, 64, 1}),
+               Error);
+  EXPECT_THROW(MvfbPlacer(graph_, fabric_, routing_, rank_, exec_,
+                          MvfbOptions{1, 0, 64, 1}),
+               Error);
+}
+
+TEST_F(MvfbTest, BackwardWinnersReportReversedTraces) {
+  // Run many seeds; whether the winner is forward or backward, the reported
+  // artefacts must be mutually consistent.
+  MvfbPlacer placer(graph_, fabric_, routing_, rank_, exec_,
+                    MvfbOptions{8, 3, 64, 3});
+  const MvfbResult result = placer.place_and_execute();
+  EXPECT_EQ(result.best_trace.gate_count(), graph_.node_count());
+  EXPECT_EQ(result.best_latency, result.best_execution.latency);
+  if (result.best_is_backward) {
+    EXPECT_EQ(result.best_initial_placement,
+              result.best_execution.final_placement);
+  } else {
+    EXPECT_EQ(result.best_initial_placement,
+              result.best_execution.initial_placement);
+  }
+}
+
+TEST_F(MvfbTest, MonteCarloBaselineWorks) {
+  const MonteCarloResult result = monte_carlo_place_and_execute(
+      graph_, fabric_, routing_, rank_, exec_, 10, 1);
+  EXPECT_EQ(result.trials, 10);
+  ASSERT_LT(result.best_latency, kInfiniteDuration);
+  EXPECT_GE(result.best_latency, graph_.critical_path_latency(exec_.tech));
+  const auto violations =
+      validate_trace(result.best_execution.trace, graph_, fabric_,
+                     result.best_initial_placement, exec_.tech);
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST_F(MvfbTest, MonteCarloMoreTrialsNeverHurt) {
+  const MonteCarloResult few = monte_carlo_place_and_execute(
+      graph_, fabric_, routing_, rank_, exec_, 3, 7);
+  const MonteCarloResult many = monte_carlo_place_and_execute(
+      graph_, fabric_, routing_, rank_, exec_, 30, 7);
+  EXPECT_LE(many.best_latency, few.best_latency);
+  EXPECT_THROW(monte_carlo_place_and_execute(graph_, fabric_, routing_, rank_,
+                                             exec_, 0, 1),
+               Error);
+}
+
+}  // namespace
+}  // namespace qspr

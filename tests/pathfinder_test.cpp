@@ -1,0 +1,164 @@
+// Tests for the PathFinder negotiated-congestion router (QUALE's routing
+// substrate, paper §I ref. [3]).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "fabric/text_io.hpp"
+#include "route/pathfinder.hpp"
+
+namespace qspr {
+namespace {
+
+class PathFinderTest : public ::testing::Test {
+ protected:
+  PathFinderTest() : fabric_(make_quale_fabric({3, 3, 4})), graph_(fabric_) {}
+
+  TrapId trap_at(int row, int col) const {
+    const TrapId id = fabric_.trap_at({row, col});
+    EXPECT_TRUE(id.is_valid());
+    return id;
+  }
+
+  Fabric fabric_;
+  RoutingGraph graph_;
+  TechnologyParams params_;
+};
+
+TEST_F(PathFinderTest, SingleNetRoutesDirectly) {
+  const PathFinderResult result = route_nets_negotiated(
+      graph_, params_, {{trap_at(1, 1), trap_at(1, 3)}});
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations, 1);
+  ASSERT_EQ(result.paths.size(), 1u);
+  EXPECT_EQ(result.paths[0].total_delay(), 24);  // same as the greedy router
+}
+
+TEST_F(PathFinderTest, EmptyAndTrivialNets) {
+  const PathFinderResult empty = route_nets_negotiated(graph_, params_, {});
+  EXPECT_TRUE(empty.converged);
+  EXPECT_EQ(empty.total_delay, 0);
+
+  const PathFinderResult self = route_nets_negotiated(
+      graph_, params_, {{trap_at(1, 1), trap_at(1, 1)}});
+  EXPECT_TRUE(self.converged);
+  EXPECT_TRUE(self.paths[0].empty());
+}
+
+TEST_F(PathFinderTest, NegotiatesContendedChannels) {
+  // Three nets all crossing the fabric left-to-right along the same row of
+  // traps: capacity 1 forces them onto distinct corridors.
+  TechnologyParams strict = params_;
+  strict.channel_capacity = 1;
+  strict.junction_capacity = 1;
+  const std::vector<NetRequest> nets = {
+      {trap_at(1, 1), trap_at(1, 7)},
+      {trap_at(3, 1), trap_at(3, 7)},
+      {trap_at(5, 1), trap_at(5, 7)},
+  };
+  const PathFinderResult result =
+      route_nets_negotiated(graph_, strict, nets);
+  EXPECT_TRUE(result.converged);
+
+  // No channel segment is used by more than one net.
+  std::map<std::int32_t, int> segment_users;
+  for (const RoutedPath& path : result.paths) {
+    std::set<std::int32_t> mine;
+    for (const ResourceUse& use : path.resource_uses) {
+      if (use.resource.kind == ResourceRef::Kind::Segment) {
+        mine.insert(use.resource.index);
+      }
+    }
+    for (const std::int32_t segment : mine) ++segment_users[segment];
+  }
+  for (const auto& [segment, users] : segment_users) {
+    EXPECT_LE(users, 1) << "segment " << segment;
+  }
+}
+
+TEST_F(PathFinderTest, ConvergedSolutionsRespectCapacityTwo) {
+  // Six simultaneous crossing nets with the paper's capacity 2, on a fabric
+  // with enough corridors that a legal solution exists.
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  const RoutingGraph graph(fabric);
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < 3; ++i) {
+    nets.push_back(
+        {fabric.trap_at({1, 1 + 4 * i}), fabric.trap_at({11, 11 - 4 * i})});
+    nets.push_back(
+        {fabric.trap_at({11, 1 + 4 * i}), fabric.trap_at({1, 11 - 4 * i})});
+  }
+  const PathFinderResult result = route_nets_negotiated(graph, params_, nets);
+  EXPECT_TRUE(result.converged);
+  std::map<std::int32_t, int> segment_users;
+  for (const RoutedPath& path : result.paths) {
+    std::set<std::int32_t> mine;
+    for (const ResourceUse& use : path.resource_uses) {
+      if (use.resource.kind == ResourceRef::Kind::Segment) {
+        mine.insert(use.resource.index);
+      }
+    }
+    for (const std::int32_t segment : mine) ++segment_users[segment];
+  }
+  for (const auto& [segment, users] : segment_users) {
+    EXPECT_LE(users, params_.channel_capacity) << "segment " << segment;
+  }
+}
+
+TEST_F(PathFinderTest, ReportsResidualOveruseWhenInfeasible) {
+  // The same crossing pattern on the tiny 3x3-junction fabric saturates the
+  // corridors (~100% of total capacity): PathFinder must terminate and
+  // report the residual over-use instead of spinning.
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < 3; ++i) {
+    nets.push_back({trap_at(1, 1 + 2 * i), trap_at(7, 7 - 2 * i)});
+    nets.push_back({trap_at(7, 1 + 2 * i), trap_at(1, 7 - 2 * i)});
+  }
+  PathFinderOptions options;
+  options.max_iterations = 15;
+  const PathFinderResult result =
+      route_nets_negotiated(graph_, params_, nets, options);
+  EXPECT_EQ(result.iterations, 15);
+  if (!result.converged) {
+    EXPECT_GT(result.overused_resources, 0);
+  }
+  EXPECT_GT(result.total_delay, 0);
+}
+
+TEST_F(PathFinderTest, TurnUnawareModeStillConverges) {
+  PathFinderOptions options;
+  options.turn_aware = false;
+  const PathFinderResult result = route_nets_negotiated(
+      graph_, params_,
+      {{trap_at(1, 1), trap_at(7, 7)}, {trap_at(7, 1), trap_at(1, 7)}},
+      options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.total_delay, 0);
+}
+
+TEST(PathFinderDisconnected, ThrowsRoutingError) {
+  const Fabric fabric = parse_fabric(
+      "J---J.J---J\n"
+      "|T..|.|..T|\n"
+      "J---J.J---J\n");
+  const RoutingGraph graph(fabric);
+  EXPECT_THROW(
+      route_nets_negotiated(graph, TechnologyParams{},
+                            {{fabric.traps()[0].id, fabric.traps()[1].id}}),
+      RoutingError);
+}
+
+TEST(PathFinderOptionsValidation, RejectsZeroIterations) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph graph(fabric);
+  PathFinderOptions options;
+  options.max_iterations = 0;
+  EXPECT_THROW(route_nets_negotiated(graph, TechnologyParams{},
+                                     {{fabric.traps()[0].id,
+                                       fabric.traps()[1].id}},
+                                     options),
+               Error);
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,105 @@
+// Unit tests for center / random-center placement and the Placement type.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/placer.hpp"
+#include "fabric/quale_fabric.hpp"
+
+namespace qspr {
+namespace {
+
+TEST(Placement, SetAndGet) {
+  Placement placement(3);
+  EXPECT_EQ(placement.qubit_count(), 3u);
+  EXPECT_FALSE(placement.is_complete());
+  placement.set(QubitId(0), TrapId(5));
+  placement.set(QubitId(1), TrapId(6));
+  placement.set(QubitId(2), TrapId(7));
+  EXPECT_TRUE(placement.is_complete());
+  EXPECT_EQ(placement.trap_of(QubitId(1)), TrapId(6));
+  EXPECT_THROW(placement.set(QubitId(9), TrapId(0)), Error);
+  EXPECT_THROW(static_cast<void>(placement.trap_of(QubitId(9))), Error);
+}
+
+TEST(Placement, ValidateChecksTrapsAndCapacity) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});  // 4 traps
+  Placement placement(2);
+  placement.set(QubitId(0), fabric.traps()[0].id);
+  placement.set(QubitId(1), fabric.traps()[1].id);
+  EXPECT_NO_THROW(placement.validate(fabric));
+
+  Placement shared(2);
+  shared.set(QubitId(0), fabric.traps()[0].id);
+  shared.set(QubitId(1), fabric.traps()[0].id);
+  EXPECT_THROW(shared.validate(fabric, 1), ValidationError);
+  EXPECT_NO_THROW(shared.validate(fabric, 2));
+
+  Placement bogus(1);
+  bogus.set(QubitId(0), TrapId(99));
+  EXPECT_THROW(bogus.validate(fabric), ValidationError);
+  Placement incomplete(1);
+  EXPECT_THROW(incomplete.validate(fabric), ValidationError);
+}
+
+TEST(CenterPlacer, PlacesNearestToCenterInOrder) {
+  const Fabric fabric = make_paper_fabric();
+  const std::size_t qubits = 9;
+  const Placement placement = center_placement(fabric, qubits);
+  placement.validate(fabric);
+
+  const auto order = fabric.traps_by_distance(fabric.center());
+  for (std::size_t q = 0; q < qubits; ++q) {
+    EXPECT_EQ(placement.trap_of(QubitId::from_index(q)), order[q]);
+  }
+}
+
+TEST(CenterPlacer, Deterministic) {
+  const Fabric fabric = make_paper_fabric();
+  EXPECT_EQ(center_placement(fabric, 7), center_placement(fabric, 7));
+}
+
+TEST(CenterPlacer, ThrowsWhenFabricTooSmall) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});  // 4 traps
+  EXPECT_THROW(center_placement(fabric, 5), ValidationError);
+}
+
+TEST(RandomCenterPlacer, PermutesTheSameTrapSet) {
+  const Fabric fabric = make_paper_fabric();
+  const std::size_t qubits = 9;
+  const Placement reference = center_placement(fabric, qubits);
+
+  std::set<TrapId> reference_traps;
+  for (std::size_t q = 0; q < qubits; ++q) {
+    reference_traps.insert(reference.trap_of(QubitId::from_index(q)));
+  }
+
+  Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Placement random = random_center_placement(fabric, qubits, rng);
+    random.validate(fabric);
+    std::set<TrapId> random_traps;
+    for (std::size_t q = 0; q < qubits; ++q) {
+      random_traps.insert(random.trap_of(QubitId::from_index(q)));
+    }
+    EXPECT_EQ(random_traps, reference_traps);
+  }
+}
+
+TEST(RandomCenterPlacer, DeterministicPerSeedAndVariedAcrossDraws) {
+  const Fabric fabric = make_paper_fabric();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  EXPECT_EQ(random_center_placement(fabric, 9, rng_a),
+            random_center_placement(fabric, 9, rng_b));
+
+  // Consecutive draws from one stream almost surely differ.
+  Rng rng(11);
+  const Placement first = random_center_placement(fabric, 9, rng);
+  const Placement second = random_center_placement(fabric, 9, rng);
+  EXPECT_NE(first, second);
+}
+
+}  // namespace
+}  // namespace qspr

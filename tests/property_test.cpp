@@ -1,0 +1,363 @@
+// Property-based tests: randomized sweeps (TEST_P) asserting the library's
+// invariants on arbitrary circuits, fabrics and congestion states.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuit/dependency_graph.hpp"
+#include "core/mapper.hpp"
+#include "core/placer.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/linear_fabric.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+#include "qecc/random_circuit.hpp"
+#include "route/pathfinder.hpp"
+#include "route/router.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/trace_validator.hpp"
+
+namespace qspr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random circuits: QASM round trip and QIDG invariants.
+// ---------------------------------------------------------------------------
+
+class RandomCircuitProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Program random_program() const {
+    Rng rng(GetParam());
+    RandomCircuitOptions options;
+    options.qubits = 3 + static_cast<int>(GetParam() % 8);
+    options.gates = 20 + static_cast<int>(GetParam() % 40);
+    return make_random_circuit(options, rng);
+  }
+};
+
+TEST_P(RandomCircuitProperty, QasmRoundTripIsIdentity) {
+  const Program original = random_program();
+  const Program reparsed = parse_qasm(write_qasm(original));
+  ASSERT_EQ(reparsed.instruction_count(), original.instruction_count());
+  ASSERT_EQ(reparsed.qubit_count(), original.qubit_count());
+  for (std::size_t i = 0; i < original.instruction_count(); ++i) {
+    EXPECT_EQ(reparsed.instructions()[i].kind, original.instructions()[i].kind);
+    EXPECT_EQ(reparsed.instructions()[i].control,
+              original.instructions()[i].control);
+    EXPECT_EQ(reparsed.instructions()[i].target,
+              original.instructions()[i].target);
+  }
+}
+
+TEST_P(RandomCircuitProperty, ReversalPreservesCriticalPath) {
+  const Program program = random_program();
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const DependencyGraph reversed = graph.reversed();
+  const TechnologyParams params;
+  // The uncompute graph has the same ideal latency (gate delays are
+  // preserved under inversion) and the same edge count.
+  EXPECT_EQ(reversed.critical_path_latency(params),
+            graph.critical_path_latency(params));
+  std::size_t edges = 0;
+  std::size_t reversed_edges = 0;
+  for (const Instruction& instr : graph.instructions()) {
+    edges += graph.successors(instr.id).size();
+    reversed_edges += reversed.successors(instr.id).size();
+  }
+  EXPECT_EQ(reversed_edges, edges);
+}
+
+TEST_P(RandomCircuitProperty, AsapNeverExceedsAlap) {
+  const Program program = random_program();
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const TechnologyParams params;
+  const auto asap = graph.asap_start_times(params);
+  const auto alap = graph.alap_start_times(params);
+  for (std::size_t i = 0; i < graph.node_count(); ++i) {
+    EXPECT_LE(asap[i], alap[i]);
+  }
+}
+
+TEST_P(RandomCircuitProperty, SchedulerRanksAreConsistentPermutations) {
+  const Program program = random_program();
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const auto rank = make_schedule_rank(graph, TechnologyParams{});
+  const auto order = schedule_order(rank);
+  const auto back = reversed_rank(reversed_rank(rank));
+  EXPECT_EQ(back, rank);
+  EXPECT_EQ(order.size(), rank.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// Random executions: every produced trace is physically valid.
+// ---------------------------------------------------------------------------
+
+struct ExecutionCase {
+  std::uint64_t seed;
+  bool dual_move;
+  bool turn_aware;
+  bool return_home;
+  int channel_capacity;
+};
+
+class ExecutionProperty : public ::testing::TestWithParam<ExecutionCase> {};
+
+TEST_P(ExecutionProperty, TracesAreValidAndBounded) {
+  const ExecutionCase& c = GetParam();
+  Rng rng(c.seed);
+  RandomCircuitOptions circuit_options;
+  circuit_options.qubits = 4 + static_cast<int>(c.seed % 5);
+  circuit_options.gates = 25;
+  const Program program = make_random_circuit(circuit_options, rng);
+  const DependencyGraph graph = DependencyGraph::build(program);
+
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  const RoutingGraph routing(fabric);
+
+  ExecutionOptions exec;
+  exec.dual_move = c.dual_move;
+  exec.router.turn_aware = c.turn_aware;
+  exec.return_home_after_gate = c.return_home;
+  exec.tech.channel_capacity = c.channel_capacity;
+
+  Rng placement_rng(c.seed * 31 + 7);
+  const Placement placement =
+      random_center_placement(fabric, program.qubit_count(), placement_rng);
+  const auto rank = make_schedule_rank(graph, exec.tech);
+  const ExecutionResult result =
+      execute_circuit(graph, fabric, routing, rank, placement, exec);
+
+  EXPECT_GE(result.latency, graph.critical_path_latency(exec.tech));
+  EXPECT_EQ(result.trace.gate_count(), graph.node_count());
+  const auto violations =
+      validate_trace(result.trace, graph, fabric, placement, exec.tech);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violations, first: "
+      << (violations.empty() ? "" : violations[0]);
+
+  // Eq. 1 bookkeeping: every decomposition term is non-negative and the
+  // instruction intervals nest properly.
+  for (const InstructionTiming& timing : result.timings) {
+    EXPECT_GE(timing.t_congestion(), 0);
+    EXPECT_GE(timing.t_routing(), 0);
+    EXPECT_GT(timing.t_gate(), 0);
+    EXPECT_LE(timing.ready, timing.issue);
+    EXPECT_LE(timing.issue, timing.gate_start);
+    EXPECT_LT(timing.gate_start, timing.gate_end);
+  }
+}
+
+std::vector<ExecutionCase> execution_cases() {
+  std::vector<ExecutionCase> cases;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    cases.push_back({seed, true, true, false, 2});    // QSPR physics
+    cases.push_back({seed, false, false, true, 1});   // QUALE physics
+    cases.push_back({seed, false, false, false, 1});  // QPOS physics
+    cases.push_back({seed, true, false, false, 2});   // ablation mix
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExecutionProperty,
+                         ::testing::ValuesIn(execution_cases()));
+
+// ---------------------------------------------------------------------------
+// Executions on the linear QCCD chain: the single corridor maximises
+// congestion; every trace must still validate and round-trip through the
+// textual serialisation.
+// ---------------------------------------------------------------------------
+
+class LinearFabricProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LinearFabricProperty, CorridorTracesValidate) {
+  Rng rng(GetParam());
+  RandomCircuitOptions circuit_options;
+  circuit_options.qubits = 4;
+  circuit_options.gates = 15;
+  const Program program = make_random_circuit(circuit_options, rng);
+  const DependencyGraph graph = DependencyGraph::build(program);
+
+  const Fabric fabric = make_linear_fabric(8, 4);
+  const RoutingGraph routing(fabric);
+  ExecutionOptions exec;
+  const auto rank = make_schedule_rank(graph, exec.tech);
+  Rng placement_rng(GetParam() * 17 + 3);
+  const Placement placement =
+      random_center_placement(fabric, program.qubit_count(), placement_rng);
+  const ExecutionResult result =
+      execute_circuit(graph, fabric, routing, rank, placement, exec);
+
+  EXPECT_TRUE(
+      validate_trace(result.trace, graph, fabric, placement, exec.tech)
+          .empty());
+  // Serialisation round trip on a congested trace.
+  const Trace reparsed = parse_trace(write_trace(result.trace));
+  EXPECT_EQ(reparsed.size(), result.trace.size());
+  EXPECT_EQ(reparsed.makespan(), result.trace.makespan());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearFabricProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// PathFinder on random net sets: converged solutions respect capacities and
+// connect the requested endpoints.
+// ---------------------------------------------------------------------------
+
+class PathFinderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathFinderProperty, ConvergedSolutionsAreLegal) {
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  Rng rng(GetParam());
+
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < 6; ++i) {
+    const TrapId from = fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
+    TrapId to = fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
+    nets.push_back({from, to});
+  }
+  const PathFinderResult result =
+      route_nets_negotiated(graph, params, nets);
+  ASSERT_EQ(result.paths.size(), nets.size());
+
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const RoutedPath& path = result.paths[i];
+    if (nets[i].from == nets[i].to) {
+      EXPECT_TRUE(path.empty());
+      continue;
+    }
+    ASSERT_GE(path.steps.size(), 2u);
+    EXPECT_EQ(path.steps.front().from,
+              fabric.trap(nets[i].from).position);
+    EXPECT_EQ(path.steps.back().to, fabric.trap(nets[i].to).position);
+  }
+
+  if (result.converged) {
+    std::map<std::int32_t, int> users;
+    for (const RoutedPath& path : result.paths) {
+      std::set<std::int32_t> mine;
+      for (const ResourceUse& use : path.resource_uses) {
+        if (use.resource.kind == ResourceRef::Kind::Segment) {
+          mine.insert(use.resource.index);
+        }
+      }
+      for (const std::int32_t segment : mine) ++users[segment];
+    }
+    for (const auto& [segment, count] : users) {
+      EXPECT_LE(count, params.channel_capacity) << "segment " << segment;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathFinderProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Router optimality: A* against a Bellman-Ford reference.
+// ---------------------------------------------------------------------------
+
+class RouterOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouterOptimality, MatchesBellmanFordCost) {
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  TechnologyParams params;
+  CongestionState congestion(fabric.segment_count(), fabric.junction_count());
+
+  // Random congestion below capacity so everything stays routable.
+  Rng rng(GetParam());
+  for (std::size_t s = 0; s < fabric.segment_count(); ++s) {
+    if (rng.uniform_real() < 0.3) {
+      congestion.acquire(ResourceRef::segment(SegmentId::from_index(s)));
+    }
+  }
+
+  const TrapId from =
+      fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
+  const TrapId to = fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
+  Router router(graph, params);
+  const auto path = router.shortest_node_path(
+      graph.trap_node(from), graph.trap_node(to), congestion, from);
+  ASSERT_TRUE(path.has_value());
+  const Duration astar_cost = router.last_path_cost();
+
+  // Reference: Bellman-Ford over the same weighting.
+  const auto edge_weight = [&](RouteNodeId to_node,
+                               const RouteEdge& edge) -> Duration {
+    const RouteNode& v = graph.node(to_node);
+    if (edge.is_turn) return params.t_turn;
+    if (v.is_trap) return params.t_move;
+    if (v.junction.is_valid()) {
+      if (congestion.junction_load(v.junction) >= params.junction_capacity) {
+        return kInfiniteDuration;
+      }
+      return params.t_move;
+    }
+    const int load = congestion.segment_load(v.segment);
+    if (load >= params.channel_capacity) return kInfiniteDuration;
+    return params.t_move * static_cast<Duration>(load + 1);
+  };
+
+  std::vector<Duration> dist(graph.node_count(), kInfiniteDuration);
+  dist[graph.trap_node(from).index()] = 0;
+  for (std::size_t iteration = 0; iteration < graph.node_count();
+       ++iteration) {
+    bool changed = false;
+    for (std::size_t u = 0; u < graph.node_count(); ++u) {
+      if (dist[u] >= kInfiniteDuration) continue;
+      for (const RouteEdge& edge : graph.edges(RouteNodeId::from_index(u))) {
+        const RouteNode& v = graph.node(edge.to);
+        // Same trap-as-endpoint-only rule as the router.
+        if (v.is_trap && v.trap != to && v.trap != from) continue;
+        const Duration w = edge_weight(edge.to, edge);
+        if (w >= kInfiniteDuration) continue;
+        if (dist[u] + w < dist[edge.to.index()]) {
+          dist[edge.to.index()] = dist[u] + w;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  EXPECT_EQ(astar_cost, dist[graph.trap_node(to).index()]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouterOptimality,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+// ---------------------------------------------------------------------------
+// Mapper-level determinism.
+// ---------------------------------------------------------------------------
+
+class MapperDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MapperDeterminism, SameSeedSameResult) {
+  Rng rng(GetParam());
+  RandomCircuitOptions circuit_options;
+  circuit_options.qubits = 5;
+  circuit_options.gates = 20;
+  const Program program = make_random_circuit(circuit_options, rng);
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+
+  MapperOptions options;
+  options.mvfb_seeds = 2;
+  options.rng_seed = GetParam();
+  const MapResult a = map_program(program, fabric, options);
+  const MapResult b = map_program(program, fabric, options);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.placement_runs, b.placement_runs);
+  EXPECT_EQ(a.initial_placement, b.initial_placement);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapperDeterminism,
+                         ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,178 @@
+// Unit tests for the QASM parser and writer (the dialect of paper Fig. 3).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/writer.hpp"
+#include "qecc/codes.hpp"
+
+namespace qspr {
+namespace {
+
+// The paper's Fig. 3 program, verbatim.
+constexpr const char* kFigure3Qasm = R"(
+QUBIT q0,0
+QUBIT q1,0
+QUBIT q2,0
+QUBIT q3
+QUBIT q4,0
+H q0
+H q1
+H q2
+H q4
+C-X q3,q2
+C-Z q4,q2
+C-Y q2,q1
+C-Y q3,q1
+C-X q4,q1
+C-Z q2,q0
+C-Y q3,q0
+C-Z q4,q0
+)";
+
+TEST(QasmParser, ParsesFigure3) {
+  const Program program = parse_qasm(kFigure3Qasm, "[[5,1,3]]");
+  EXPECT_EQ(program.qubit_count(), 5u);
+  EXPECT_EQ(program.instruction_count(), 12u);
+  EXPECT_EQ(program.one_qubit_gate_count(), 4u);
+  EXPECT_EQ(program.two_qubit_gate_count(), 8u);
+  EXPECT_EQ(program.qubit(program.find_qubit("q3")).init_value, std::nullopt);
+  EXPECT_EQ(program.qubit(program.find_qubit("q0")).init_value, 0);
+
+  const Instruction& first_cx = program.instructions()[4];
+  EXPECT_EQ(first_cx.kind, GateKind::CX);
+  EXPECT_EQ(program.qubit(first_cx.control).name, "q3");
+  EXPECT_EQ(program.qubit(first_cx.target).name, "q2");
+}
+
+TEST(QasmParser, MnemonicAliasesAndCase) {
+  const Program program = parse_qasm(
+      "QUBIT a\nQUBIT b\ncnot a,b\nCX b,a\nc-x a,b\ncz a,b\nMEASZ a\nm b\n");
+  EXPECT_EQ(program.instruction_count(), 6u);
+  EXPECT_EQ(program.instructions()[0].kind, GateKind::CX);
+  EXPECT_EQ(program.instructions()[1].kind, GateKind::CX);
+  EXPECT_EQ(program.instructions()[2].kind, GateKind::CX);
+  EXPECT_EQ(program.instructions()[3].kind, GateKind::CZ);
+  EXPECT_EQ(program.instructions()[4].kind, GateKind::Measure);
+  EXPECT_EQ(program.instructions()[5].kind, GateKind::Measure);
+}
+
+TEST(QasmParser, AllOneQubitGates) {
+  const Program program = parse_qasm(
+      "QUBIT q\nH q\nX q\nY q\nZ q\nS q\nSDG q\nT q\nTDG q\n");
+  ASSERT_EQ(program.instruction_count(), 8u);
+  EXPECT_EQ(program.instructions()[5].kind, GateKind::Sdg);
+  EXPECT_EQ(program.instructions()[7].kind, GateKind::Tdg);
+}
+
+TEST(QasmParser, CommentsAndWhitespace) {
+  const Program program = parse_qasm(
+      "# full-line comment\n"
+      "QUBIT q0,0   # trailing comment\n"
+      "QUBIT q1,0 // C++-style comment\n"
+      "\n"
+      "   H   q0  \n"
+      "C-X q0 , q1\n");
+  EXPECT_EQ(program.qubit_count(), 2u);
+  EXPECT_EQ(program.instruction_count(), 2u);
+}
+
+TEST(QasmParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_qasm("QUBIT q0\nBOGUS q0\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("BOGUS"), std::string::npos);
+  }
+}
+
+TEST(QasmParser, RejectsUndeclaredQubit) {
+  EXPECT_THROW(parse_qasm("QUBIT a\nH ghost\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a\nQUBIT b\nC-X a,ghost\n"), ParseError);
+}
+
+TEST(QasmParser, RejectsMalformedDeclarations) {
+  EXPECT_THROW(parse_qasm("QUBIT\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a,5\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a,zero\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a\nQUBIT a\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a,0,1\n"), ParseError);
+}
+
+TEST(QasmParser, RejectsWrongOperandCounts) {
+  EXPECT_THROW(parse_qasm("QUBIT a\nQUBIT b\nH a,b\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a\nC-X a\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a\nC-X a,a\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a\nQUBIT b\nC-X a,,b\n"), ParseError);
+}
+
+TEST(QasmParser, GateFromMnemonic) {
+  EXPECT_EQ(gate_from_mnemonic("h"), GateKind::H);
+  EXPECT_EQ(gate_from_mnemonic("C-Y"), GateKind::CY);
+  EXPECT_EQ(gate_from_mnemonic("swap"), GateKind::Swap);
+  EXPECT_EQ(gate_from_mnemonic("nonsense"), std::nullopt);
+}
+
+TEST(QasmWriter, RoundTripsFigure3) {
+  const Program original = parse_qasm(kFigure3Qasm, "[[5,1,3]]");
+  const Program reparsed = parse_qasm(write_qasm(original), "[[5,1,3]]");
+  ASSERT_EQ(reparsed.qubit_count(), original.qubit_count());
+  ASSERT_EQ(reparsed.instruction_count(), original.instruction_count());
+  for (std::size_t i = 0; i < original.instruction_count(); ++i) {
+    const Instruction& a = original.instructions()[i];
+    const Instruction& b = reparsed.instructions()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.control, b.control);
+    EXPECT_EQ(a.target, b.target);
+  }
+  for (std::size_t q = 0; q < original.qubit_count(); ++q) {
+    const QubitId id = QubitId::from_index(q);
+    EXPECT_EQ(original.qubit(id).name, reparsed.qubit(id).name);
+    EXPECT_EQ(original.qubit(id).init_value, reparsed.qubit(id).init_value);
+  }
+}
+
+TEST(QasmWriter, RoundTripsAllPaperBenchmarks) {
+  for (const PaperNumbers& bench : paper_benchmarks()) {
+    const Program original = make_encoder(bench.code);
+    const Program reparsed = parse_qasm(write_qasm(original));
+    ASSERT_EQ(reparsed.instruction_count(), original.instruction_count())
+        << code_name(bench.code);
+    for (std::size_t i = 0; i < original.instruction_count(); ++i) {
+      EXPECT_EQ(reparsed.instructions()[i].kind,
+                original.instructions()[i].kind);
+      EXPECT_EQ(reparsed.instructions()[i].control,
+                original.instructions()[i].control);
+      EXPECT_EQ(reparsed.instructions()[i].target,
+                original.instructions()[i].target);
+    }
+  }
+}
+
+TEST(QasmFile, WriteAndParseFile) {
+  const std::string path = ::testing::TempDir() + "qspr_roundtrip.qasm";
+  const Program original = make_encoder(QeccCode::Q5_1_3);
+  write_qasm_file(original, path);
+  const Program reparsed = parse_qasm_file(path);
+  EXPECT_EQ(reparsed.qubit_count(), original.qubit_count());
+  EXPECT_EQ(reparsed.instruction_count(), original.instruction_count());
+  EXPECT_EQ(reparsed.name(), "qspr_roundtrip");
+  std::remove(path.c_str());
+}
+
+TEST(QasmFile, MissingFileThrows) {
+  EXPECT_THROW(parse_qasm_file("/nonexistent/file.qasm"), Error);
+}
+
+TEST(QasmParser, EmptyProgramIsValid) {
+  const Program program = parse_qasm("");
+  EXPECT_EQ(program.qubit_count(), 0u);
+  EXPECT_EQ(program.instruction_count(), 0u);
+}
+
+}  // namespace
+}  // namespace qspr

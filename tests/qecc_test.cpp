@@ -1,0 +1,180 @@
+// Tests for the QECC benchmark generators: every circuit's ideal-baseline
+// critical path must equal the paper's Table 2 baseline exactly — this is
+// the calibration contract documented in DESIGN.md.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuit/dependency_graph.hpp"
+#include "qecc/codes.hpp"
+#include "qecc/random_circuit.hpp"
+
+namespace qspr {
+namespace {
+
+class QeccCalibration : public ::testing::TestWithParam<PaperNumbers> {};
+
+TEST_P(QeccCalibration, CriticalPathMatchesPaperBaseline) {
+  const PaperNumbers& paper = GetParam();
+  const Program program = make_encoder(paper.code);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  EXPECT_EQ(graph.critical_path_latency(TechnologyParams{}),
+            paper.baseline_latency)
+      << code_name(paper.code);
+}
+
+TEST_P(QeccCalibration, QubitCountMatchesCode) {
+  const PaperNumbers& paper = GetParam();
+  const Program program = make_encoder(paper.code);
+  EXPECT_EQ(program.qubit_count(),
+            static_cast<std::size_t>(code_qubits(paper.code)));
+}
+
+TEST_P(QeccCalibration, ProgramIsValidAndNamed) {
+  const PaperNumbers& paper = GetParam();
+  const Program program = make_encoder(paper.code);
+  EXPECT_NO_THROW(program.validate());
+  EXPECT_EQ(program.name(), code_name(paper.code));
+}
+
+TEST_P(QeccCalibration, EveryQubitParticipates) {
+  const PaperNumbers& paper = GetParam();
+  const Program program = make_encoder(paper.code);
+  std::set<QubitId> touched;
+  for (const Instruction& instr : program.instructions()) {
+    for (const QubitId q : instr.operands()) touched.insert(q);
+  }
+  EXPECT_EQ(touched.size(), program.qubit_count());
+}
+
+TEST_P(QeccCalibration, EncoderScaleIsPlausible) {
+  const PaperNumbers& paper = GetParam();
+  const Program program = make_encoder(paper.code);
+  const std::size_t n = program.qubit_count();
+  // An encoder touches all n qubits with at least ~n two-qubit couplings and
+  // is not absurdly large.
+  EXPECT_GE(program.two_qubit_gate_count(), n - 1);
+  EXPECT_LE(program.instruction_count(), 10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, QeccCalibration,
+                         ::testing::ValuesIn(paper_benchmarks()),
+                         [](const auto& param_info) {
+                           std::string name = code_name(param_info.param.code);
+                           std::erase_if(name, [](char c) {
+                             return c == '[' || c == ']' || c == ',';
+                           });
+                           return "Q" + name;
+                         });
+
+TEST(QeccCodes, NamesAndSizes) {
+  EXPECT_EQ(code_name(QeccCode::Q5_1_3), "[[5,1,3]]");
+  EXPECT_EQ(code_name(QeccCode::Q23_1_7), "[[23,1,7]]");
+  EXPECT_EQ(code_qubits(QeccCode::Q14_8_3), 14);
+  EXPECT_EQ(paper_benchmarks().size(), 6u);
+}
+
+TEST(QeccCodes, PaperNumbersLookup) {
+  const PaperNumbers numbers = paper_numbers(QeccCode::Q14_8_3);
+  EXPECT_EQ(numbers.baseline_latency, 2500);
+  EXPECT_EQ(numbers.quale_latency, 7511);
+  EXPECT_EQ(numbers.qspr_latency, 3390);
+  EXPECT_NEAR(numbers.improvement_percent, 54.87, 1e-9);
+}
+
+TEST(QeccCodes, DataQubitsAreNotInitialised) {
+  // [[5,1,3]]: q3 is the data qubit (Fig. 3 declares it without ",0").
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  EXPECT_FALSE(program.qubit(program.find_qubit("q3")).init_value.has_value());
+  EXPECT_TRUE(program.qubit(program.find_qubit("q0")).init_value.has_value());
+  // [[14,8,3]] has k = 8 data qubits.
+  const Program large = make_encoder(QeccCode::Q14_8_3);
+  int data = 0;
+  for (const QubitDecl& qubit : large.qubits()) {
+    if (!qubit.init_value.has_value()) ++data;
+  }
+  EXPECT_EQ(data, 8);
+}
+
+TEST(QeccCodes, Figure3VerbatimOrderHasDeeperCriticalPath) {
+  // The verbatim Fig. 3 instruction order yields 610 us under per-qubit
+  // sequential dependencies (see DESIGN.md); the calibrated benchmark
+  // reorders the same gate set to the paper's 510 us.
+  const Program fig3 = make_figure3_program();
+  const DependencyGraph graph = DependencyGraph::build(fig3);
+  EXPECT_EQ(graph.critical_path_latency(TechnologyParams{}), 610);
+  EXPECT_EQ(fig3.qubit_count(), 5u);
+  EXPECT_EQ(fig3.instruction_count(), 12u);
+
+  // Same multiset of gates as the calibrated benchmark.
+  const Program calibrated = make_encoder(QeccCode::Q5_1_3);
+  auto gate_multiset = [](const Program& p) {
+    std::multiset<std::tuple<GateKind, QubitId, QubitId>> gates;
+    for (const Instruction& instr : p.instructions()) {
+      gates.insert({instr.kind, instr.control, instr.target});
+    }
+    return gates;
+  };
+  EXPECT_EQ(gate_multiset(fig3), gate_multiset(calibrated));
+}
+
+TEST(QeccCodes, BenchmarksHaveParallelWidth) {
+  // The larger encoders must not be pure chains: at some ideal-schedule time
+  // step, at least two 2-qubit gates overlap (congestion needs width).
+  for (const QeccCode code :
+       {QeccCode::Q9_1_3, QeccCode::Q14_8_3, QeccCode::Q19_1_7,
+        QeccCode::Q23_1_7}) {
+    const Program program = make_encoder(code);
+    const DependencyGraph graph = DependencyGraph::build(program);
+    const auto asap = graph.asap_start_times(TechnologyParams{});
+    bool overlap = false;
+    for (std::size_t i = 0; i < graph.node_count() && !overlap; ++i) {
+      if (!graph.instructions()[i].is_two_qubit()) continue;
+      for (std::size_t j = i + 1; j < graph.node_count(); ++j) {
+        if (!graph.instructions()[j].is_two_qubit()) continue;
+        if (asap[i] == asap[j]) {
+          overlap = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(overlap) << code_name(code) << " is a pure chain";
+  }
+}
+
+TEST(RandomCircuit, RespectsOptionsAndDeterminism) {
+  RandomCircuitOptions options;
+  options.qubits = 6;
+  options.gates = 50;
+  options.two_qubit_fraction = 0.5;
+  Rng rng_a(3);
+  Rng rng_b(3);
+  const Program a = make_random_circuit(options, rng_a);
+  const Program b = make_random_circuit(options, rng_b);
+  EXPECT_EQ(a.qubit_count(), 6u);
+  EXPECT_EQ(a.instruction_count(), 50u);
+  EXPECT_NO_THROW(a.validate());
+  ASSERT_EQ(b.instruction_count(), a.instruction_count());
+  for (std::size_t i = 0; i < a.instruction_count(); ++i) {
+    EXPECT_EQ(a.instructions()[i].kind, b.instructions()[i].kind);
+    EXPECT_EQ(a.instructions()[i].target, b.instructions()[i].target);
+  }
+}
+
+TEST(RandomCircuit, FractionExtremes) {
+  Rng rng(1);
+  RandomCircuitOptions all_two;
+  all_two.two_qubit_fraction = 1.0;
+  all_two.gates = 30;
+  EXPECT_EQ(make_random_circuit(all_two, rng).two_qubit_gate_count(), 30u);
+  RandomCircuitOptions all_one;
+  all_one.two_qubit_fraction = 0.0;
+  all_one.gates = 30;
+  EXPECT_EQ(make_random_circuit(all_one, rng).one_qubit_gate_count(), 30u);
+  RandomCircuitOptions bad;
+  bad.qubits = 1;
+  EXPECT_THROW(make_random_circuit(bad, rng), Error);
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,155 @@
+// Unit tests for the scheduling policies (§III and prior art).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/error.hpp"
+#include "core/scheduler.hpp"
+
+namespace qspr {
+namespace {
+
+/// H(a); CX(a,b); CX(b,c); H(d) — d's Hadamard has huge slack.
+Program slack_program() {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  program.add_gate(GateKind::H, a);       // 0: critical head
+  program.add_gate(GateKind::CX, a, b);   // 1
+  program.add_gate(GateKind::CX, b, c);   // 2
+  program.add_gate(GateKind::H, d);       // 3: pure slack
+  return program;
+}
+
+bool is_permutation_rank(const std::vector<int>& rank) {
+  std::vector<int> sorted = rank;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != static_cast<int>(i)) return false;
+  }
+  return true;
+}
+
+TEST(Scheduler, RanksArePermutations) {
+  const DependencyGraph graph = DependencyGraph::build(slack_program());
+  const TechnologyParams params;
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::QsprPriority, SchedulePolicy::Alap,
+        SchedulePolicy::AsapDependents, SchedulePolicy::TotalDependentDelay}) {
+    const auto rank = make_schedule_rank(graph, params, {policy, 1.0, 1.0});
+    EXPECT_TRUE(is_permutation_rank(rank));
+  }
+}
+
+TEST(Scheduler, QsprPriorityPrefersCriticalInstructions) {
+  const DependencyGraph graph = DependencyGraph::build(slack_program());
+  const auto rank = make_schedule_rank(graph, TechnologyParams{});
+  // The critical-path head (instruction 0) outranks the slack Hadamard (3).
+  EXPECT_LT(rank[0], rank[3]);
+  // Deeper in the chain means lower remaining priority.
+  EXPECT_LT(rank[1], rank[2]);
+}
+
+TEST(Scheduler, AlphaBetaWeightsChangeTheMix) {
+  // With beta = 0 the priority is the dependent count alone; with alpha = 0
+  // it is the longest-path delay alone. Craft a case where they disagree:
+  // one branch has many short dependents, the other one long dependent.
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  // Branch 1 root (0): three 1-qubit dependents (cheap but numerous).
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::S, a);
+  program.add_gate(GateKind::T, a);
+  program.add_gate(GateKind::X, a);
+  // Branch 2 root (4): one expensive 2-qubit dependent chain.
+  program.add_gate(GateKind::H, b);
+  program.add_gate(GateKind::CX, b, c);
+  program.add_gate(GateKind::CX, c, d);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const TechnologyParams params;
+
+  const auto count_rank = make_schedule_rank(
+      graph, params, {SchedulePolicy::QsprPriority, 1.0, 0.0});
+  const auto delay_rank = make_schedule_rank(
+      graph, params, {SchedulePolicy::QsprPriority, 0.0, 1.0});
+  // Dependent-count priority favours the H with 3 dependents.
+  EXPECT_LT(count_rank[0], count_rank[4]);
+  // Longest-path priority favours the H heading the 2xCX chain.
+  EXPECT_LT(delay_rank[4], delay_rank[0]);
+}
+
+TEST(Scheduler, AlapPrefersEarlierDeadlines) {
+  const DependencyGraph graph = DependencyGraph::build(slack_program());
+  const auto rank =
+      make_schedule_rank(graph, TechnologyParams{}, {SchedulePolicy::Alap});
+  const auto alap = graph.alap_start_times(TechnologyParams{});
+  // Instructions with smaller ALAP start must rank earlier.
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    for (std::size_t j = 0; j < rank.size(); ++j) {
+      if (alap[i] < alap[j]) {
+        EXPECT_LT(rank[i], rank[j]);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, AsapDependentsUsesDescendantCounts) {
+  const DependencyGraph graph = DependencyGraph::build(slack_program());
+  const auto rank = make_schedule_rank(graph, TechnologyParams{},
+                                       {SchedulePolicy::AsapDependents});
+  const auto counts = graph.descendant_counts();
+  for (std::size_t i = 0; i < rank.size(); ++i) {
+    for (std::size_t j = 0; j < rank.size(); ++j) {
+      if (counts[i] > counts[j]) {
+        EXPECT_LT(rank[i], rank[j]);
+      }
+    }
+  }
+}
+
+TEST(Scheduler, ScheduleOrderInvertsRank) {
+  const DependencyGraph graph = DependencyGraph::build(slack_program());
+  const auto rank = make_schedule_rank(graph, TechnologyParams{});
+  const auto order = schedule_order(rank);
+  ASSERT_EQ(order.size(), rank.size());
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    EXPECT_EQ(rank[order[position].index()], static_cast<int>(position));
+  }
+}
+
+TEST(Scheduler, ReversedRankFlipsTheTotalOrder) {
+  const std::vector<int> rank{2, 0, 3, 1};
+  const std::vector<int> reversed = reversed_rank(rank);
+  EXPECT_EQ(reversed, (std::vector<int>{1, 3, 0, 2}));
+  // Reversing twice is the identity.
+  EXPECT_EQ(reversed_rank(reversed), rank);
+}
+
+TEST(Scheduler, ScheduleOrderRejectsNonPermutations) {
+  EXPECT_THROW(schedule_order({0, 0, 1}), Error);
+  EXPECT_THROW(schedule_order({0, 5}), Error);
+}
+
+TEST(Scheduler, DeterministicTieBreaks) {
+  // All-identical instructions: ranks follow instruction ids.
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, c, d);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const auto rank = make_schedule_rank(graph, TechnologyParams{});
+  EXPECT_EQ(rank, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,498 @@
+// Unit tests for the event-driven simulator: issue policy, trap selection,
+// routing integration, the Eq. 1 delay decomposition, the QUALE return-home
+// discipline, and stall detection. Hand-computed delays use the 5x5 tile
+// fabric of route_test (trap-to-adjacent-trap round trip = 24 us).
+#include <gtest/gtest.h>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/error.hpp"
+#include "core/placer.hpp"
+#include "core/scheduler.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "fabric/text_io.hpp"
+#include "qecc/random_circuit.hpp"
+#include "route/routing_graph.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/trace_validator.hpp"
+
+namespace qspr {
+namespace {
+
+class SimTest : public ::testing::Test {
+ protected:
+  SimTest() : fabric_(make_quale_fabric({2, 2, 4})), routing_(fabric_) {}
+
+  TrapId trap_at(int row, int col) const {
+    const TrapId id = fabric_.trap_at({row, col});
+    EXPECT_TRUE(id.is_valid());
+    return id;
+  }
+
+  static std::vector<int> trivial_rank(const DependencyGraph& graph) {
+    std::vector<int> rank(graph.node_count());
+    for (std::size_t i = 0; i < rank.size(); ++i) rank[i] = static_cast<int>(i);
+    return rank;
+  }
+
+  ExecutionResult run(const Program& program, const Placement& placement,
+                      ExecutionOptions options = {}) {
+    const DependencyGraph graph = DependencyGraph::build(program);
+    ExecutionResult result = execute_circuit(
+        graph, fabric_, routing_, trivial_rank(graph), placement, options);
+    const auto violations = validate_trace(result.trace, graph, fabric_,
+                                           placement, options.tech);
+    EXPECT_TRUE(violations.empty())
+        << "trace violations:\n"
+        << [&violations] {
+             std::string all;
+             for (const auto& v : violations) all += v + "\n";
+             return all;
+           }();
+    return result;
+  }
+
+  Fabric fabric_;
+  RoutingGraph routing_;
+};
+
+TEST_F(SimTest, EmptyCircuitHasZeroLatency) {
+  Program program;
+  program.add_qubit("a");
+  Placement placement(1);
+  placement.set(QubitId(0), trap_at(1, 1));
+  const ExecutionResult result = run(program, placement);
+  EXPECT_EQ(result.latency, 0);
+  EXPECT_EQ(result.trace.size(), 0u);
+}
+
+TEST_F(SimTest, OneQubitGateInPlace) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  program.add_gate(GateKind::H, a);
+  Placement placement(1);
+  placement.set(a, trap_at(1, 1));
+  const ExecutionResult result = run(program, placement);
+  EXPECT_EQ(result.latency, 10);
+  EXPECT_EQ(result.stats.moves, 0);
+  EXPECT_EQ(result.timings[0].t_routing(), 0);
+  EXPECT_EQ(result.timings[0].t_congestion(), 0);
+  EXPECT_EQ(result.timings[0].t_gate(), 10);
+}
+
+TEST_F(SimTest, TwoQubitGateMovesOneOperand) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  Placement placement(2);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 3));
+  const ExecutionResult result = run(program, placement);
+  // The median trap search selects one operand's trap; the other qubit makes
+  // the 24 us trip; then the 100 us gate.
+  EXPECT_EQ(result.latency, 124);
+  EXPECT_EQ(result.stats.moves, 4);
+  EXPECT_EQ(result.stats.turns, 2);
+  EXPECT_EQ(result.timings[0].t_routing(), 24);
+  EXPECT_EQ(result.timings[0].t_gate(), 100);
+  // Both qubits end in the same trap.
+  EXPECT_EQ(result.final_placement.trap_of(a),
+            result.final_placement.trap_of(b));
+}
+
+TEST_F(SimTest, DestinationFixedRoutingMovesTheSource) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  Placement placement(2);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(3, 3));
+  ExecutionOptions options;
+  options.dual_move = false;
+  const ExecutionResult result = run(program, placement, options);
+  // b never moves: the gate executes in b's trap.
+  EXPECT_EQ(result.final_placement.trap_of(b), trap_at(3, 3));
+  EXPECT_EQ(result.final_placement.trap_of(a), trap_at(3, 3));
+  EXPECT_GT(result.latency, 100);
+}
+
+TEST_F(SimTest, CoLocatedOperandsNeedNoRouting) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CZ, a, b);
+  Placement placement(2);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 1));
+  const ExecutionResult result = run(program, placement);
+  EXPECT_EQ(result.latency, 100);
+  EXPECT_EQ(result.stats.moves, 0);
+}
+
+TEST_F(SimTest, OneQubitGateRelocatesWhenSharingATrap) {
+  // After CX(a,b) both operands share a trap; a following H(a) must move a
+  // to an empty trap first (§II.B).
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::H, a);
+  Placement placement(2);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 1));
+  const ExecutionResult result = run(program, placement);
+  // CX in place (100), then a relocates (24) and H runs (10).
+  EXPECT_EQ(result.latency, 134);
+  EXPECT_NE(result.final_placement.trap_of(a),
+            result.final_placement.trap_of(b));
+}
+
+TEST_F(SimTest, IndependentGatesRunConcurrently) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, c, d);
+  Placement placement(4);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(3, 3));
+  placement.set(c, trap_at(3, 1));
+  placement.set(d, trap_at(1, 3));
+  const ExecutionResult result = run(program, placement);
+  // Concurrent execution: far less than the serial sum.
+  const Duration serial = result.timings[0].gate_end - result.timings[0].issue +
+                          result.timings[1].gate_end - result.timings[1].issue;
+  EXPECT_LT(result.latency, serial);
+}
+
+TEST_F(SimTest, CapacityOneSerialisesSharedChannels) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, c, d);
+  Placement placement(4);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(3, 3));
+  placement.set(c, trap_at(3, 1));
+  placement.set(d, trap_at(1, 3));
+
+  ExecutionOptions multiplexed;
+  const ExecutionResult loose = run(program, placement, multiplexed);
+
+  ExecutionOptions strict;
+  strict.tech.channel_capacity = 1;
+  const ExecutionResult tight = run(program, placement, strict);
+  EXPECT_GE(tight.latency, loose.latency);
+}
+
+TEST_F(SimTest, DependentGateWaitsForPredecessor) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, b, c);
+  Placement placement(3);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 1));  // co-located: first gate runs at t=0
+  placement.set(c, trap_at(1, 3));
+  const ExecutionResult result = run(program, placement);
+  EXPECT_EQ(result.timings[1].ready, 100);
+  EXPECT_GE(result.timings[1].gate_start, 100);
+  EXPECT_EQ(result.latency, result.timings[1].gate_end);
+}
+
+TEST_F(SimTest, ReturnHomeRestoresPlacementAndDelaysDependents) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  Placement placement(2);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 3));
+
+  ExecutionOptions options;
+  options.dual_move = false;
+  options.return_home_after_gate = true;
+  const ExecutionResult result = run(program, placement, options);
+  // Trip out (24) + gate (100) + trip home (24).
+  EXPECT_EQ(result.latency, 148);
+  EXPECT_EQ(result.final_placement.trap_of(a), trap_at(1, 1));
+  EXPECT_EQ(result.final_placement.trap_of(b), trap_at(1, 3));
+
+  // A dependent instruction waits for the round trip.
+  program.add_gate(GateKind::H, a);
+  const ExecutionResult chained = run(program, placement, options);
+  EXPECT_EQ(chained.timings[1].ready, 148);
+  EXPECT_EQ(chained.latency, 158);
+}
+
+TEST_F(SimTest, ScheduleRankBreaksTies) {
+  // Two ready instructions compete for the same target trap area; the rank
+  // decides which issues first.
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  const QubitId d = program.add_qubit("d");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, c, d);
+  Placement placement(4);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(3, 3));
+  placement.set(c, trap_at(3, 1));
+  placement.set(d, trap_at(1, 3));
+
+  const DependencyGraph graph = DependencyGraph::build(program);
+  const ExecutionResult forward = execute_circuit(
+      graph, fabric_, routing_, {0, 1}, placement, ExecutionOptions{});
+  const ExecutionResult reversed = execute_circuit(
+      graph, fabric_, routing_, {1, 0}, placement, ExecutionOptions{});
+  EXPECT_LE(forward.timings[0].issue, forward.timings[1].issue);
+  EXPECT_LE(reversed.timings[1].issue, reversed.timings[0].issue);
+}
+
+TEST_F(SimTest, DeterministicAcrossRuns) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  const QubitId c = program.add_qubit("c");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CZ, b, c);
+  program.add_gate(GateKind::CY, a, c);
+  Placement placement(3);
+  placement.set(a, trap_at(1, 1));
+  placement.set(b, trap_at(1, 3));
+  placement.set(c, trap_at(3, 1));
+  const ExecutionResult first = run(program, placement);
+  const ExecutionResult second = run(program, placement);
+  EXPECT_EQ(first.latency, second.latency);
+  EXPECT_EQ(first.trace.size(), second.trace.size());
+  EXPECT_EQ(first.final_placement, second.final_placement);
+}
+
+TEST_F(SimTest, RejectsMismatchedInputs) {
+  Program program;
+  program.add_qubit("a");
+  program.add_qubit("b");
+  program.add_gate(GateKind::CX, QubitId(0), QubitId(1));
+  const DependencyGraph graph = DependencyGraph::build(program);
+
+  Placement too_small(1);
+  too_small.set(QubitId(0), trap_at(1, 1));
+  EXPECT_THROW(execute_circuit(graph, fabric_, routing_, {0}, too_small,
+                               ExecutionOptions{}),
+               ValidationError);
+
+  Placement placement(2);
+  placement.set(QubitId(0), trap_at(1, 1));
+  placement.set(QubitId(1), trap_at(1, 3));
+  EXPECT_THROW(execute_circuit(graph, fabric_, routing_, {0, 1, 2}, placement,
+                               ExecutionOptions{}),
+               Error);
+}
+
+TEST_F(SimTest, OverfullInitialPlacementRejected) {
+  Program program;
+  program.add_qubit("a");
+  program.add_qubit("b");
+  program.add_qubit("c");
+  program.add_gate(GateKind::CX, QubitId(0), QubitId(1));
+  const DependencyGraph graph = DependencyGraph::build(program);
+  Placement placement(3);
+  placement.set(QubitId(0), trap_at(1, 1));
+  placement.set(QubitId(1), trap_at(1, 1));
+  placement.set(QubitId(2), trap_at(1, 1));  // three in one trap
+  EXPECT_THROW(execute_circuit(graph, fabric_, routing_, {0}, placement,
+                               ExecutionOptions{}),
+               ValidationError);
+}
+
+TEST(SimRegression, PartialDispatchAvoidsSelfDeadlock) {
+  // Regression: with capacity-1 channels, the first routed operand of a
+  // 2-qubit gate can reserve a path that seals off the second operand's only
+  // trap exits. All-or-nothing issue would stall forever (nothing else in
+  // flight); partial dispatch lets the first qubit travel and the second
+  // depart once the channels free up. This random circuit (seed 5) is the
+  // original reproducer.
+  Rng rng(5);
+  RandomCircuitOptions circuit_options;
+  circuit_options.qubits = 4;
+  circuit_options.gates = 25;
+  const Program program = make_random_circuit(circuit_options, rng);
+  const DependencyGraph graph = DependencyGraph::build(program);
+
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  const RoutingGraph routing(fabric);
+  ExecutionOptions exec;
+  exec.dual_move = false;
+  exec.router.turn_aware = false;
+  exec.tech.channel_capacity = 1;
+
+  Rng placement_rng(5 * 31 + 7);
+  const Placement placement =
+      random_center_placement(fabric, program.qubit_count(), placement_rng);
+  const auto rank = make_schedule_rank(graph, exec.tech);
+  const ExecutionResult result =
+      execute_circuit(graph, fabric, routing, rank, placement, exec);
+  EXPECT_GE(result.latency, graph.critical_path_latency(exec.tech));
+  EXPECT_TRUE(
+      validate_trace(result.trace, graph, fabric, placement, exec.tech)
+          .empty());
+}
+
+TEST(SimRegression, PairedFinalPlacementSeedsNextRun) {
+  // MVFB chains runs: a final placement with two qubits sharing a trap must
+  // be a legal initial placement for the next run.
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph routing(fabric);
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  Placement placement(2);
+  placement.set(a, fabric.trap_at({1, 1}));
+  placement.set(b, fabric.trap_at({1, 3}));
+
+  const ExecutionResult first = execute_circuit(
+      graph, fabric, routing, {0}, placement, ExecutionOptions{});
+  // Operands ended co-located; rerun from there.
+  EXPECT_EQ(first.final_placement.trap_of(a),
+            first.final_placement.trap_of(b));
+  const ExecutionResult second = execute_circuit(
+      graph, fabric, routing, {0}, first.final_placement, ExecutionOptions{});
+  EXPECT_EQ(second.latency, 100);  // co-located: gate only
+}
+
+TEST(SimRegression, MeasureAndSwapExecuteLikeGates) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph routing(fabric);
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::Swap, a, b);
+  program.add_gate(GateKind::Measure, a);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  Placement placement(2);
+  placement.set(a, fabric.trap_at({1, 1}));
+  placement.set(b, fabric.trap_at({1, 1}));
+  const ExecutionResult result = execute_circuit(
+      graph, fabric, routing, {0, 1}, placement, ExecutionOptions{});
+  // Swap in place (100), then a relocates for the measurement (24 + 10).
+  EXPECT_EQ(result.latency, 134);
+  EXPECT_TRUE(
+      validate_trace(result.trace, graph, fabric, placement,
+                     TechnologyParams{})
+          .empty());
+}
+
+TEST(SimStall, DisconnectedFabricStalls) {
+  const Fabric fabric = parse_fabric(
+      "J---J.J---J\n"
+      "|T..|.|..T|\n"
+      "J---J.J---J\n");
+  ASSERT_EQ(fabric.trap_count(), 2u);
+  const RoutingGraph routing(fabric);
+
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+
+  Placement placement(2);
+  placement.set(a, fabric.traps()[0].id);
+  placement.set(b, fabric.traps()[1].id);
+  EXPECT_THROW(execute_circuit(graph, fabric, routing, {0}, placement,
+                               ExecutionOptions{}),
+               SimulationError);
+}
+
+TEST(SimTrace, TimeReversalPreservesStructure) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph routing(fabric);
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  Placement placement(2);
+  placement.set(a, fabric.trap_at({1, 1}));
+  placement.set(b, fabric.trap_at({1, 3}));
+  const ExecutionResult result = execute_circuit(
+      graph, fabric, routing, {0}, placement, ExecutionOptions{});
+
+  const Trace reversed = result.trace.time_reversed();
+  EXPECT_EQ(reversed.size(), result.trace.size());
+  EXPECT_EQ(reversed.makespan(), result.trace.makespan());
+  EXPECT_EQ(reversed.move_count(), result.trace.move_count());
+  EXPECT_EQ(reversed.turn_count(), result.trace.turn_count());
+  EXPECT_EQ(reversed.gate_count(), result.trace.gate_count());
+  // Double reversal restores the original op set.
+  const Trace twice = reversed.time_reversed();
+  for (std::size_t i = 0; i < twice.size(); ++i) {
+    EXPECT_EQ(twice.ops()[i].start, result.trace.ops()[i].start);
+    EXPECT_EQ(twice.ops()[i].from, result.trace.ops()[i].from);
+  }
+}
+
+TEST(SimTraceValidator, DetectsCorruptedTraces) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph routing(fabric);
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  const DependencyGraph graph = DependencyGraph::build(program);
+  Placement placement(2);
+  placement.set(a, fabric.trap_at({1, 1}));
+  placement.set(b, fabric.trap_at({1, 3}));
+  const ExecutionResult result = execute_circuit(
+      graph, fabric, routing, {0}, placement, ExecutionOptions{});
+  const TechnologyParams params;
+
+  // The genuine trace is clean.
+  EXPECT_TRUE(
+      validate_trace(result.trace, graph, fabric, placement, params).empty());
+
+  // Dropping the gate op is detected.
+  Trace missing_gate;
+  for (const MicroOp& op : result.trace.ops()) {
+    if (op.kind != MicroOpKind::Gate) missing_gate.add(op);
+  }
+  EXPECT_FALSE(
+      validate_trace(missing_gate, graph, fabric, placement, params).empty());
+
+  // Teleporting a move is detected.
+  Trace teleported = result.trace;
+  {
+    Trace broken;
+    bool corrupted = false;
+    for (MicroOp op : result.trace.ops()) {
+      if (!corrupted && op.kind == MicroOpKind::Move) {
+        op.to = {0, 0};
+        corrupted = true;
+      }
+      broken.add(op);
+    }
+    EXPECT_FALSE(
+        validate_trace(broken, graph, fabric, placement, params).empty());
+  }
+
+  // Wrong start placement is detected.
+  Placement wrong(2);
+  wrong.set(a, fabric.trap_at({3, 3}));
+  wrong.set(b, fabric.trap_at({1, 3}));
+  EXPECT_FALSE(
+      validate_trace(result.trace, graph, fabric, wrong, params).empty());
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,164 @@
+// Tests for the trace serialisation (trace_io) and the utilisation /
+// Gantt reporting built on top of mapped traces.
+#include <gtest/gtest.h>
+
+#include "circuit/dependency_graph.hpp"
+#include "common/error.hpp"
+#include "core/mapper.hpp"
+#include "core/report.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "qecc/codes.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/utilization.hpp"
+
+namespace qspr {
+namespace {
+
+MapResult mapped_result() {
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  return map_program(make_encoder(QeccCode::Q5_1_3), make_paper_fabric(),
+                     options);
+}
+
+TEST(TraceIo, RoundTripsAMappedTrace) {
+  const MapResult result = mapped_result();
+  const std::string text = write_trace(result.trace);
+  const Trace reparsed = parse_trace(text);
+  ASSERT_EQ(reparsed.size(), result.trace.size());
+  for (std::size_t i = 0; i < reparsed.size(); ++i) {
+    const MicroOp& a = result.trace.ops()[i];
+    const MicroOp& b = reparsed.ops()[i];
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.qubit, b.qubit);
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.instruction, b.instruction);
+  }
+  EXPECT_EQ(reparsed.makespan(), result.trace.makespan());
+}
+
+TEST(TraceIo, ParsesHandWrittenText) {
+  const Trace trace = parse_trace(
+      "# comment\n"
+      "MOVE q0 (1,1) (1,2) 0 1 #3\n"
+      "\n"
+      "TURN q0 (1,2) (1,2) 1 11 #3\n"
+      "GATE - (1,2) (1,2) 11 111 #3\n");
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.ops()[0].kind, MicroOpKind::Move);
+  EXPECT_EQ(trace.ops()[1].kind, MicroOpKind::Turn);
+  EXPECT_EQ(trace.ops()[2].kind, MicroOpKind::Gate);
+  EXPECT_FALSE(trace.ops()[2].qubit.is_valid());
+  EXPECT_EQ(trace.makespan(), 111);
+}
+
+TEST(TraceIo, RejectsMalformedLines) {
+  EXPECT_THROW(parse_trace("HOP q0 (1,1) (1,2) 0 1 #3\n"), ParseError);
+  EXPECT_THROW(parse_trace("MOVE q0 (1,1) (1,2) 0 1\n"), ParseError);
+  EXPECT_THROW(parse_trace("MOVE x0 (1,1) (1,2) 0 1 #3\n"), ParseError);
+  EXPECT_THROW(parse_trace("MOVE q0 (1;1) (1,2) 0 1 #3\n"), ParseError);
+  EXPECT_THROW(parse_trace("MOVE q0 (1,1) (1,2) 5 1 #3\n"), ParseError);
+  EXPECT_THROW(parse_trace("MOVE q0 (1,1) (1,2) 0 1 3\n"), ParseError);
+}
+
+TEST(Utilization, AccountsBusyChannels) {
+  const MapResult result = mapped_result();
+  const Fabric fabric = make_paper_fabric();
+  const ResourceUtilization utilization =
+      analyze_utilization(result.trace, fabric);
+
+  EXPECT_EQ(utilization.makespan, result.latency);
+  Duration total_busy = 0;
+  int used_segments = 0;
+  for (std::size_t s = 0; s < fabric.segment_count(); ++s) {
+    total_busy += utilization.segment_busy[s];
+    if (utilization.segment_busy[s] > 0) ++used_segments;
+    EXPECT_LE(utilization.segment_peak[s], TechnologyParams{}.channel_capacity);
+    EXPECT_LE(utilization.segment_busy[s], utilization.makespan);
+  }
+  // The mapped circuit moved qubits, so some channels were busy.
+  EXPECT_GT(total_busy, 0);
+  EXPECT_GT(used_segments, 0);
+  // But a 924-trap fabric is far from saturated by 5 qubits.
+  EXPECT_LT(used_segments, static_cast<int>(fabric.segment_count()) / 2);
+}
+
+TEST(Utilization, EmptyTraceIsAllIdle) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const ResourceUtilization utilization = analyze_utilization(Trace{}, fabric);
+  for (const Duration busy : utilization.segment_busy) EXPECT_EQ(busy, 0);
+  for (const Duration busy : utilization.junction_busy) EXPECT_EQ(busy, 0);
+}
+
+TEST(Utilization, SummaryAndHeatmapRender) {
+  const MapResult result = mapped_result();
+  const Fabric fabric = make_paper_fabric();
+  const ResourceUtilization utilization =
+      analyze_utilization(result.trace, fabric);
+
+  const std::string summary = utilization_summary(utilization, fabric);
+  EXPECT_NE(summary.find("channel utilisation"), std::string::npos);
+  EXPECT_NE(summary.find("busiest segments"), std::string::npos);
+
+  const std::string heatmap = render_heatmap(utilization, fabric);
+  // One line per fabric row, trap/junction glyphs present.
+  EXPECT_EQ(std::count(heatmap.begin(), heatmap.end(), '\n'), fabric.rows());
+  EXPECT_NE(heatmap.find('J'), std::string::npos);
+  EXPECT_NE(heatmap.find('T'), std::string::npos);
+}
+
+TEST(Gantt, RendersOneRowPerInstruction) {
+  const MapResult result = mapped_result();
+  const DependencyGraph graph =
+      DependencyGraph::build(make_encoder(QeccCode::Q5_1_3));
+  const std::string gantt = render_gantt(result.timings, graph);
+  // Header plus one row per instruction.
+  EXPECT_EQ(std::count(gantt.begin(), gantt.end(), '\n'),
+            static_cast<long>(graph.node_count()) + 1);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(Gantt, EmptyTimingsHandled) {
+  const Program empty;
+  const DependencyGraph graph = DependencyGraph::build(empty);
+  EXPECT_EQ(render_gantt({}, graph), "(empty execution)\n");
+}
+
+TEST(Report, ContainsAllSections) {
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Fabric fabric = make_paper_fabric();
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const MapResult result = map_program(program, fabric, options);
+  const std::string report = make_report(result, program, fabric);
+  EXPECT_NE(report.find("mapping report"), std::string::npos);
+  EXPECT_NE(report.find("instruction timing"), std::string::npos);
+  EXPECT_NE(report.find("channel utilisation"), std::string::npos);
+  EXPECT_NE(report.find("execution timeline"), std::string::npos);
+  EXPECT_NE(report.find("fidelity estimate"), std::string::npos);
+  EXPECT_NE(report.find(std::to_string(result.latency)), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Fabric fabric = make_paper_fabric();
+  MapperOptions options;
+  options.placer = PlacerKind::Center;
+  const MapResult result = map_program(program, fabric, options);
+  ReportOptions report_options;
+  report_options.include_timing_table = false;
+  report_options.include_utilization = false;
+  report_options.include_gantt = false;
+  report_options.include_fidelity = false;
+  const std::string report =
+      make_report(result, program, fabric, report_options);
+  EXPECT_EQ(report.find("instruction timing"), std::string::npos);
+  EXPECT_EQ(report.find("fidelity"), std::string::npos);
+  EXPECT_NE(report.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qspr

@@ -1,0 +1,146 @@
+// Unit tests for the circuit transformation passes.
+#include <gtest/gtest.h>
+
+#include "circuit/dependency_graph.hpp"
+#include "circuit/transform.hpp"
+#include "qecc/codes.hpp"
+#include "qecc/random_circuit.hpp"
+
+namespace qspr {
+namespace {
+
+TEST(DecomposeSwaps, RewritesIntoThreeCx) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::Swap, a, b);
+  const Program result = decompose_swaps(program);
+  ASSERT_EQ(result.instruction_count(), 4u);
+  EXPECT_EQ(result.instructions()[0].kind, GateKind::H);
+  EXPECT_EQ(result.instructions()[1].kind, GateKind::CX);
+  EXPECT_EQ(result.instructions()[1].control, a);
+  EXPECT_EQ(result.instructions()[1].target, b);
+  EXPECT_EQ(result.instructions()[2].control, b);
+  EXPECT_EQ(result.instructions()[2].target, a);
+  EXPECT_EQ(result.instructions()[3].control, a);
+  EXPECT_EQ(result.instructions()[3].target, b);
+}
+
+TEST(DecomposeSwaps, NoSwapsIsIdentity) {
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Program result = decompose_swaps(program);
+  EXPECT_EQ(result.instruction_count(), program.instruction_count());
+}
+
+TEST(CancelInverses, RemovesAdjacentPairs) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::H, a);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 0u);
+}
+
+TEST(CancelInverses, HandlesSAndSdg) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  program.add_gate(GateKind::S, a);
+  program.add_gate(GateKind::Sdg, a);
+  program.add_gate(GateKind::T, a);
+  const Program result = cancel_adjacent_inverses(program);
+  ASSERT_EQ(result.instruction_count(), 1u);
+  EXPECT_EQ(result.instructions()[0].kind, GateKind::T);
+}
+
+TEST(CancelInverses, ChainsCollapseToFixedPoint) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  for (int i = 0; i < 6; ++i) program.add_gate(GateKind::X, a);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 0u);
+  // Odd count leaves exactly one.
+  program.add_gate(GateKind::X, a);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 1u);
+}
+
+TEST(CancelInverses, InterveningUseBlocksCancellation) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::H, a);
+  program.add_gate(GateKind::CX, a, b);  // touches a: blocks the H pair
+  program.add_gate(GateKind::H, a);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 3u);
+}
+
+TEST(CancelInverses, TwoQubitPairsAndSymmetry) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  const QubitId b = program.add_qubit("b");
+  program.add_gate(GateKind::CX, a, b);
+  program.add_gate(GateKind::CX, a, b);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 0u);
+
+  // CX with swapped operands is NOT an inverse pair...
+  Program asymmetric;
+  const QubitId c = asymmetric.add_qubit("c");
+  const QubitId d = asymmetric.add_qubit("d");
+  asymmetric.add_gate(GateKind::CX, c, d);
+  asymmetric.add_gate(GateKind::CX, d, c);
+  EXPECT_EQ(cancel_adjacent_inverses(asymmetric).instruction_count(), 2u);
+
+  // ...but CZ is symmetric, so swapped operands cancel.
+  Program symmetric;
+  const QubitId e = symmetric.add_qubit("e");
+  const QubitId f = symmetric.add_qubit("f");
+  symmetric.add_gate(GateKind::CZ, e, f);
+  symmetric.add_gate(GateKind::CZ, f, e);
+  EXPECT_EQ(cancel_adjacent_inverses(symmetric).instruction_count(), 0u);
+}
+
+TEST(CancelInverses, MeasurementNeverCancels) {
+  Program program;
+  const QubitId a = program.add_qubit("a");
+  program.add_gate(GateKind::Measure, a);
+  program.add_gate(GateKind::Measure, a);
+  EXPECT_EQ(cancel_adjacent_inverses(program).instruction_count(), 2u);
+}
+
+TEST(UncomputeProgram, MatchesReversedGraph) {
+  const Program program = make_encoder(QeccCode::Q5_1_3);
+  const Program uncompute = uncompute_program(program);
+  ASSERT_EQ(uncompute.instruction_count(), program.instruction_count());
+
+  const DependencyGraph uidg_from_program = DependencyGraph::build(uncompute);
+  const DependencyGraph uidg_from_graph =
+      DependencyGraph::build(program).reversed();
+  // Same critical path and same gate multiset position-by-position: the
+  // program's instruction i corresponds to graph node (n-1-i).
+  EXPECT_EQ(uidg_from_program.critical_path_latency(TechnologyParams{}),
+            uidg_from_graph.critical_path_latency(TechnologyParams{}));
+  const std::size_t n = program.instruction_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(uncompute.instructions()[i].kind,
+              inverse_of(program.instructions()[n - 1 - i].kind));
+  }
+}
+
+TEST(UncomputeProgram, IsAnInvolution) {
+  Rng rng(11);
+  RandomCircuitOptions options;
+  options.qubits = 5;
+  options.gates = 30;
+  options.two_qubit_fraction = 0.6;
+  const Program program = make_random_circuit(options, rng);
+  const Program twice = uncompute_program(uncompute_program(program));
+  ASSERT_EQ(twice.instruction_count(), program.instruction_count());
+  for (std::size_t i = 0; i < program.instruction_count(); ++i) {
+    EXPECT_EQ(twice.instructions()[i].kind, program.instructions()[i].kind);
+    EXPECT_EQ(twice.instructions()[i].control,
+              program.instructions()[i].control);
+    EXPECT_EQ(twice.instructions()[i].target,
+              program.instructions()[i].target);
+  }
+}
+
+}  // namespace
+}  // namespace qspr
