@@ -1,0 +1,253 @@
+// Routing-core benchmark harness: runs the micro-router, PathFinder and
+// scaling benches and emits a machine-readable BENCH_routing.json so every
+// perf PR leaves a recorded trajectory.
+//
+//   bench_runner [--smoke] [--output PATH]
+//
+// --smoke shrinks repetition counts to a few iterations (CI bitrot guard);
+// --output defaults to BENCH_routing.json in the working directory.
+//
+// Reported per bench: ns/query (a query is one inner shortest-path search),
+// negotiation iterations-to-converge, and total routed delay. The PathFinder
+// benches run both engines — the reference allocating Dijkstra and the
+// arena-backed A* — so the speedup of the optimized core is measured against
+// a live baseline, not a number frozen in a doc.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "route/pathfinder.hpp"
+
+using namespace qspr;
+using qspr_bench::JsonWriter;
+
+namespace {
+
+struct PathFinderSample {
+  std::string name;
+  std::string engine;
+  int nets = 0;
+  int repetitions = 0;
+  double ns_per_query = 0.0;
+  long long queries = 0;
+  int iterations = 0;
+  bool converged = false;
+  Duration total_delay = 0;
+};
+
+std::vector<NetRequest> central_nets(const Fabric& fabric, int count,
+                                     std::uint64_t seed) {
+  const auto central = fabric.traps_by_distance(fabric.center());
+  const std::size_t pool = std::min<std::size_t>(central.size(), 64);
+  Rng rng(seed);
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < count; ++i) {
+    const TrapId from = central[rng.uniform_index(pool)];
+    TrapId to = central[rng.uniform_index(pool)];
+    while (to == from) to = central[rng.uniform_index(pool)];
+    nets.push_back({from, to});
+  }
+  return nets;
+}
+
+PathFinderSample run_pathfinder(const std::string& name,
+                                const RoutingGraph& graph,
+                                const TechnologyParams& params,
+                                const std::vector<NetRequest>& nets,
+                                PathFinderEngine engine, int repetitions) {
+  PathFinderOptions options;
+  options.engine = engine;
+
+  PathFinderSample sample;
+  sample.name = name;
+  sample.engine = engine == PathFinderEngine::AStarArena ? "astar_arena"
+                                                         : "reference_dijkstra";
+  sample.nets = static_cast<int>(nets.size());
+  sample.repetitions = repetitions;
+
+  PathFinderResult result;
+  const double ns_per_rep = qspr_bench::time_ns_per_rep(repetitions, [&] {
+    result = route_nets_negotiated(graph, params, nets, options);
+  });
+  // One "query" is one inner shortest-path search: every net is re-routed
+  // once per negotiation iteration.
+  const long long queries =
+      static_cast<long long>(nets.size()) * result.iterations;
+  sample.queries = queries;
+  sample.ns_per_query = queries > 0 ? ns_per_rep / static_cast<double>(queries)
+                                    : 0.0;
+  sample.iterations = result.iterations;
+  sample.converged = result.converged;
+  sample.total_delay = result.total_delay;
+  return sample;
+}
+
+void write_sample(JsonWriter& json, const PathFinderSample& sample) {
+  json.begin_object()
+      .field("name", sample.name)
+      .field("engine", sample.engine)
+      .field("nets", sample.nets)
+      .field("repetitions", sample.repetitions)
+      .field("queries_per_rep", sample.queries)
+      .field("ns_per_query", sample.ns_per_query)
+      .field("iterations_to_converge", sample.iterations)
+      .field("converged", sample.converged)
+      .field("total_delay_us", static_cast<long long>(sample.total_delay))
+      .end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string output = "BENCH_routing.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--output" && i + 1 < argc) {
+      output = argv[++i];
+    } else {
+      std::cerr << "usage: bench_runner [--smoke] [--output PATH]\n";
+      return 2;
+    }
+  }
+
+  qspr_bench::print_header("Routing core benchmark harness");
+  const TechnologyParams params;
+
+  JsonWriter json;
+  json.begin_object();
+  json.field("schema", "qspr-bench-routing/v1");
+  json.field("smoke", smoke);
+
+  // ------------------------------------------------------- micro-router ---
+  // Single-query A* latency on the paper fabric (45x85, Fig. 4), the
+  // greedy/incremental router used by the event simulator.
+  {
+    const Fabric fabric = make_paper_fabric();
+    const RoutingGraph graph(fabric);
+    CongestionState congestion(fabric.segment_count(),
+                               fabric.junction_count());
+    Router router(graph, params);
+    const auto central = fabric.traps_by_distance(fabric.center());
+    const TrapId corner_a = fabric.traps().front().id;
+    const TrapId corner_b = fabric.traps().back().id;
+    const int reps = smoke ? 20 : 2000;
+
+    json.key("micro_router").begin_array();
+    struct Case {
+      const char* name;
+      TrapId from;
+      TrapId to;
+    };
+    for (const Case c : {Case{"corner_to_corner", corner_a, corner_b},
+                         Case{"neighbour_traps", central[0], central[1]}}) {
+      Duration delay = 0;
+      const double ns = qspr_bench::time_ns_per_rep(reps, [&] {
+        const auto path = router.route_trap_to_trap(c.from, c.to, congestion);
+        delay = path.has_value() ? path->total_delay() : -1;
+      });
+      std::cout << "micro_router/" << c.name << ": "
+                << format_fixed(ns, 0) << " ns/query, delay " << delay
+                << " us\n";
+      json.begin_object()
+          .field("name", std::string(c.name))
+          .field("fabric", "paper_45x85")
+          .field("repetitions", reps)
+          .field("ns_per_query", ns)
+          .field("path_delay_us", static_cast<long long>(delay))
+          .end_object();
+    }
+    json.end_array();
+  }
+
+  // --------------------------------------------------------- pathfinder ---
+  // Negotiated batch routing on the paper fabric, both engines per load
+  // level; the speedup column is the per-query ratio reference/optimized.
+  {
+    const Fabric fabric = make_paper_fabric();
+    const RoutingGraph graph(fabric);
+    const int reps = smoke ? 1 : 25;
+    const std::vector<int> loads = smoke ? std::vector<int>{4}
+                                         : std::vector<int>{8, 16, 32};
+
+    TextTable table({"Nets", "Engine", "ns/query", "iters", "converged",
+                     "delay (us)", "speedup"});
+    std::vector<PathFinderSample> samples;
+    for (const int load : loads) {
+      const auto nets = central_nets(fabric, load, 11);
+      const PathFinderSample reference = run_pathfinder(
+          "pathfinder_" + std::to_string(load) + "nets", graph, params, nets,
+          PathFinderEngine::ReferenceDijkstra, reps);
+      const PathFinderSample optimized = run_pathfinder(
+          "pathfinder_" + std::to_string(load) + "nets", graph, params, nets,
+          PathFinderEngine::AStarArena, reps);
+      const double speedup =
+          optimized.ns_per_query > 0.0
+              ? reference.ns_per_query / optimized.ns_per_query
+              : 0.0;
+      table.add_row({std::to_string(load), reference.engine,
+                     format_fixed(reference.ns_per_query, 0),
+                     std::to_string(reference.iterations),
+                     reference.converged ? "yes" : "no",
+                     std::to_string(reference.total_delay), "1.00x"});
+      table.add_row({std::to_string(load), optimized.engine,
+                     format_fixed(optimized.ns_per_query, 0),
+                     std::to_string(optimized.iterations),
+                     optimized.converged ? "yes" : "no",
+                     std::to_string(optimized.total_delay),
+                     format_fixed(speedup, 2) + "x"});
+      samples.push_back(reference);
+      samples.push_back(optimized);
+    }
+    std::cout << table.to_string();
+    json.key("pathfinder_runs").begin_array();
+    for (const PathFinderSample& sample : samples) {
+      write_sample(json, sample);
+    }
+    json.end_array();
+  }
+
+  // ------------------------------------------------------------ scaling ---
+  // Optimized engine across growing QUALE fabrics at a fixed load.
+  {
+    json.key("scaling").begin_array();
+    struct Size {
+      const char* name;
+      QualeFabricParams quale;
+    };
+    const std::vector<Size> sizes = {
+        {"quale_6x11", {6, 11, 4}},
+        {"quale_12x22", {12, 22, 4}},
+    };
+    const int reps = smoke ? 1 : 10;
+    for (const Size& size : sizes) {
+      const Fabric fabric = make_quale_fabric(size.quale);
+      const RoutingGraph graph(fabric);
+      const auto nets = central_nets(fabric, 16, 7);
+      const PathFinderSample sample =
+          run_pathfinder(std::string("scaling_") + size.name, graph, params,
+                         nets, PathFinderEngine::AStarArena, reps);
+      std::cout << "scaling/" << size.name << ": "
+                << format_fixed(sample.ns_per_query, 0) << " ns/query, "
+                << sample.iterations << " iters, delay " << sample.total_delay
+                << " us\n";
+      write_sample(json, sample);
+    }
+    json.end_array();
+  }
+
+  json.end_object();
+
+  std::ofstream file(output);
+  if (!file) {
+    std::cerr << "cannot write " << output << "\n";
+    return 1;
+  }
+  file << json.str() << "\n";
+  std::cout << "\nwrote " << output << "\n";
+  return 0;
+}

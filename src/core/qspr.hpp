@@ -39,9 +39,11 @@
 #include "qecc/codes.hpp"                // IWYU pragma: export
 #include "qecc/cyclic_builder.hpp"       // IWYU pragma: export
 #include "qecc/random_circuit.hpp"       // IWYU pragma: export
+#include "route/heuristic.hpp"           // IWYU pragma: export
 #include "route/pathfinder.hpp"          // IWYU pragma: export
 #include "route/router.hpp"              // IWYU pragma: export
 #include "route/routing_graph.hpp"       // IWYU pragma: export
+#include "route/search_arena.hpp"        // IWYU pragma: export
 #include "sim/event_sim.hpp"             // IWYU pragma: export
 #include "sim/placement.hpp"             // IWYU pragma: export
 #include "sim/trace.hpp"                 // IWYU pragma: export

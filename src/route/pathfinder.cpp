@@ -7,6 +7,8 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "route/heuristic.hpp"
+#include "route/search_arena.hpp"
 
 namespace qspr {
 
@@ -19,6 +21,8 @@ class ResourceTable {
       : occupancy_(fabric.segment_count() + fabric.junction_count(), 0),
         history_(fabric.segment_count() + fabric.junction_count(), 0.0),
         segment_count_(fabric.segment_count()) {}
+
+  [[nodiscard]] std::size_t size() const { return occupancy_.size(); }
 
   [[nodiscard]] std::size_t index_of(ResourceRef resource) const {
     return resource.kind == ResourceRef::Kind::Segment
@@ -47,6 +51,27 @@ ResourceRef resource_of_node(const RouteNode& node) {
   return ResourceRef{};
 }
 
+/// Negotiated cost of stepping across `edge` into node `v`. Callers prune
+/// edges into non-target traps before pricing (traps are endpoints only).
+double edge_weight(const RouteNode& v, const RouteEdge& edge,
+                   const TechnologyParams& params, const ResourceTable& table,
+                   double present_factor, bool turn_aware) {
+  if (edge.is_turn) {
+    return turn_aware ? static_cast<double>(params.t_turn) : 0.1;
+  }
+  if (v.is_trap) return static_cast<double>(params.t_move);
+  const ResourceRef resource = resource_of_node(v);
+  double penalty = 1.0;
+  if (resource.index >= 0) {
+    const std::size_t index = table.index_of(resource);
+    const int capacity = table.capacity_of(resource, params);
+    const int over = std::max(0, table.occupancy_[index] + 1 - capacity);
+    penalty = (1.0 + static_cast<double>(over) * present_factor) *
+              (1.0 + table.history_[index]);
+  }
+  return static_cast<double>(params.t_move) * penalty;
+}
+
 struct QueueEntry {
   double cost;
   RouteNodeId node;
@@ -56,8 +81,10 @@ struct QueueEntry {
   }
 };
 
-/// One negotiated-cost Dijkstra. Over-used resources are allowed but priced.
-std::optional<std::vector<RouteNodeId>> route_one(
+/// One negotiated-cost Dijkstra — the reference engine. Allocates its O(n)
+/// state per query; kept verbatim as the equivalence baseline the optimized
+/// A* engine is tested and benchmarked against.
+std::optional<std::vector<RouteNodeId>> route_one_reference(
     const RoutingGraph& graph, const TechnologyParams& params,
     const ResourceTable& table, double present_factor, bool turn_aware,
     TrapId from, TrapId to) {
@@ -81,25 +108,11 @@ std::optional<std::vector<RouteNodeId>> route_one(
 
     for (const RouteEdge& edge : graph.edges(entry.node)) {
       const RouteNode& v = graph.node(edge.to);
-      double weight = 0.0;
-      if (edge.is_turn) {
-        weight = turn_aware ? static_cast<double>(params.t_turn) : 0.1;
-      } else if (v.is_trap) {
-        if (v.trap != to) continue;  // traps are endpoints only
-        weight = static_cast<double>(params.t_move);
-      } else {
-        const ResourceRef resource = resource_of_node(v);
-        double penalty = 1.0;
-        if (resource.index >= 0) {
-          const std::size_t index = table.index_of(resource);
-          const int capacity = table.capacity_of(resource, params);
-          const int over =
-              std::max(0, table.occupancy_[index] + 1 - capacity);
-          penalty = (1.0 + static_cast<double>(over) * present_factor) *
-                    (1.0 + table.history_[index]);
-        }
-        weight = static_cast<double>(params.t_move) * penalty;
+      if (!edge.is_turn && v.is_trap && v.trap != to) {
+        continue;  // traps are endpoints only
       }
+      const double weight = edge_weight(v, edge, params, table,
+                                        present_factor, turn_aware);
       const double candidate = dist[entry.node.index()] + weight;
       if (candidate < dist[edge.to.index()]) {
         dist[edge.to.index()] = candidate;
@@ -120,8 +133,71 @@ std::optional<std::vector<RouteNodeId>> route_one(
   return path;
 }
 
-/// Distinct resources a routed path occupies.
-std::vector<ResourceRef> resources_of(const RoutedPath& path) {
+/// One negotiated-cost A* over the arena — the optimized engine. The grid
+/// lower bound focuses the expansion toward the target; the arena makes the
+/// per-query state O(1) to reset. Returns false when the target is
+/// unreachable; on success fills `path` source-to-target.
+bool route_one_astar(const RoutingGraph& graph, const TechnologyParams& params,
+                     const ResourceTable& table, double present_factor,
+                     bool turn_aware, TrapId from, TrapId to,
+                     SearchArena<double>& arena,
+                     std::vector<RouteNodeId>& path) {
+  path.clear();
+  const RouteNodeId source = graph.trap_node(from);
+  const RouteNodeId target = graph.trap_node(to);
+  if (source == target) {
+    path.push_back(source);
+    return true;
+  }
+
+  const Position target_cell = graph.node(target).cell;
+  const double t_move = static_cast<double>(params.t_move);
+  const double turn_cost =
+      turn_aware ? static_cast<double>(params.t_turn) : 0.1;
+
+  arena.begin(graph.node_count());
+  arena.relax(source, 0.0, RouteNodeId::invalid());
+  arena.heap_push(
+      grid_lower_bound(graph.node(source), target_cell, t_move, turn_cost),
+      0.0, source);
+
+  while (!arena.heap_empty()) {
+    const auto entry = arena.heap_pop();
+    if (arena.settled(entry.node) || entry.g != arena.dist(entry.node)) {
+      continue;
+    }
+    arena.settle(entry.node);
+    if (entry.node == target) break;
+
+    for (const RouteEdge& edge : graph.edges(entry.node)) {
+      const RouteNode& v = graph.node(edge.to);
+      if (!edge.is_turn && v.is_trap && v.trap != to) {
+        continue;  // traps are endpoints only
+      }
+      const double weight = edge_weight(v, edge, params, table,
+                                        present_factor, turn_aware);
+      const double candidate = entry.g + weight;
+      if (candidate < arena.dist(edge.to)) {
+        arena.relax(edge.to, candidate, entry.node);
+        arena.heap_push(
+            candidate +
+                grid_lower_bound(v, target_cell, t_move, turn_cost),
+            candidate, edge.to);
+      }
+    }
+  }
+  if (!arena.settled(target)) return false;
+
+  for (RouteNodeId node = target; node.is_valid(); node = arena.parent(node)) {
+    path.push_back(node);
+    if (node == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return true;
+}
+
+/// Distinct resources a routed path occupies — reference O(P²) dedup.
+std::vector<ResourceRef> resources_of_reference(const RoutedPath& path) {
   std::vector<ResourceRef> resources;
   for (const ResourceUse& use : path.resource_uses) {
     if (std::find(resources.begin(), resources.end(), use.resource) ==
@@ -130,6 +206,22 @@ std::vector<ResourceRef> resources_of(const RoutedPath& path) {
     }
   }
   return resources;
+}
+
+/// Distinct dense resource indices of a path, deduped in O(P) with the
+/// stamped set; the result doubles as the net's rip-up (decrement) set for
+/// the next negotiation iteration.
+void collect_resources(const RoutedPath& path, const ResourceTable& table,
+                       StampedSet& membership,
+                       std::vector<std::uint32_t>& indices) {
+  indices.clear();
+  membership.reset(table.size());
+  for (const ResourceUse& use : path.resource_uses) {
+    const std::size_t index = table.index_of(use.resource);
+    if (membership.insert(index)) {
+      indices.push_back(static_cast<std::uint32_t>(index));
+    }
+  }
 }
 
 }  // namespace
@@ -146,6 +238,15 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
   PathFinderResult result;
   result.paths.resize(nets.size());
 
+  const bool optimized = options.engine == PathFinderEngine::AStarArena;
+  // Arena state shared across all nets and all negotiation iterations.
+  SearchArena<double> arena;
+  StampedSet membership;
+  std::vector<RouteNodeId> node_buffer;
+  // Per-net occupancy sets (dense resource indices): computed once per
+  // reroute, reused for the rip-up decrement of the following iteration.
+  std::vector<std::vector<std::uint32_t>> net_resources(nets.size());
+
   double present_factor = options.present_factor;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
     result.iterations = iteration;
@@ -153,20 +254,43 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
     // against the *other* nets' present congestion plus the history costs,
     // and re-inserted (the original PathFinder inner loop).
     for (std::size_t i = 0; i < nets.size(); ++i) {
-      if (iteration > 1) {
-        for (const ResourceRef& resource : resources_of(result.paths[i])) {
-          --table.occupancy_[table.index_of(resource)];
+      if (optimized) {
+        if (iteration > 1) {
+          for (const std::uint32_t index : net_resources[i]) {
+            --table.occupancy_[index];
+          }
         }
-      }
-      auto nodes = route_one(graph, params, table, present_factor,
-                             options.turn_aware, nets[i].from, nets[i].to);
-      if (!nodes.has_value()) {
-        throw RoutingError("PathFinder: net " + std::to_string(i) +
-                           " has no route on this fabric");
-      }
-      result.paths[i] = lower_path(graph, *nodes, params);
-      for (const ResourceRef& resource : resources_of(result.paths[i])) {
-        ++table.occupancy_[table.index_of(resource)];
+        if (!route_one_astar(graph, params, table, present_factor,
+                             options.turn_aware, nets[i].from, nets[i].to,
+                             arena, node_buffer)) {
+          throw RoutingError("PathFinder: net " + std::to_string(i) +
+                             " has no route on this fabric");
+        }
+        result.paths[i] = lower_path(graph, node_buffer, params);
+        collect_resources(result.paths[i], table, membership,
+                          net_resources[i]);
+        for (const std::uint32_t index : net_resources[i]) {
+          ++table.occupancy_[index];
+        }
+      } else {
+        if (iteration > 1) {
+          for (const ResourceRef& resource :
+               resources_of_reference(result.paths[i])) {
+            --table.occupancy_[table.index_of(resource)];
+          }
+        }
+        auto nodes =
+            route_one_reference(graph, params, table, present_factor,
+                                options.turn_aware, nets[i].from, nets[i].to);
+        if (!nodes.has_value()) {
+          throw RoutingError("PathFinder: net " + std::to_string(i) +
+                             " has no route on this fabric");
+        }
+        result.paths[i] = lower_path(graph, *nodes, params);
+        for (const ResourceRef& resource :
+             resources_of_reference(result.paths[i])) {
+          ++table.occupancy_[table.index_of(resource)];
+        }
       }
     }
 

@@ -14,6 +14,7 @@
 // formulation for comparison and for users who want whole-layer routing.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/time.hpp"
@@ -27,6 +28,16 @@ struct NetRequest {
   TrapId to;
 };
 
+/// Inner shortest-path engine of the negotiation loop.
+enum class PathFinderEngine : std::uint8_t {
+  /// Plain Dijkstra allocating its search state per query. Kept as the
+  /// equivalence/benchmark baseline; produces the same negotiated costs.
+  ReferenceDijkstra,
+  /// A* with the admissible grid lower bound over a generation-stamped
+  /// SearchArena reused across all nets and iterations (the fast path).
+  AStarArena,
+};
+
 struct PathFinderOptions {
   int max_iterations = 30;
   /// Present-congestion penalty factor added per unit of over-use.
@@ -35,6 +46,8 @@ struct PathFinderOptions {
   double history_increment = 0.25;
   /// Model turn delays in the cost (QSPR's enhancement; QUALE ran without).
   bool turn_aware = true;
+  /// Inner search engine; the default is the optimized arena-backed A*.
+  PathFinderEngine engine = PathFinderEngine::AStarArena;
 };
 
 struct PathFinderResult {

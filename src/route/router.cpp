@@ -1,42 +1,16 @@
 #include "route/router.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/error.hpp"
+#include "route/heuristic.hpp"
 
 namespace qspr {
-
-namespace {
-
-// Priority queue entry over (f = g + h, g, node); g- and node-tie-breaks keep
-// the search deterministic across platforms.
-struct QueueEntry {
-  Duration f;
-  Duration g;
-  RouteNodeId node;
-};
-
-bool operator>(const QueueEntry& a, const QueueEntry& b) {
-  if (a.f != b.f) return a.f > b.f;
-  if (a.g != b.g) return a.g > b.g;
-  return a.node > b.node;
-}
-
-}  // namespace
 
 Router::Router(const RoutingGraph& graph, const TechnologyParams& params,
                RouterOptions options)
     : graph_(&graph), params_(params), options_(options) {
   params_.validate();
-  states_.resize(graph.node_count());
-}
-
-Duration Router::heuristic(RouteNodeId node, Position target) const {
-  // Admissible: every remaining cell costs at least one uncongested move.
-  return static_cast<Duration>(
-             manhattan_distance(graph_->node(node).cell, target)) *
-         params_.t_move;
 }
 
 std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
@@ -48,39 +22,28 @@ std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
     return std::vector<RouteNodeId>{from};
   }
 
-  ++generation_;
   const Position target_cell = graph_->node(to).cell;
   const TrapId target_trap = graph_->node(to).trap;
+  const Duration turn_cost = options_.turn_aware ? params_.t_turn : 0;
 
-  auto& states = states_;
-  const auto touch = [&](RouteNodeId id) -> NodeState& {
-    NodeState& s = states[id.index()];
-    if (s.generation != generation_) {
-      s.generation = generation_;
-      s.distance = kInfiniteDuration;
-      s.parent = RouteNodeId::invalid();
-      s.settled = false;
+  arena_.begin(graph_->node_count());
+  arena_.relax(from, 0, RouteNodeId::invalid());
+  arena_.heap_push(
+      grid_lower_bound(graph_->node(from), target_cell, params_.t_move,
+                       turn_cost),
+      0, from);
+
+  while (!arena_.heap_empty()) {
+    const auto entry = arena_.heap_pop();
+    if (arena_.settled(entry.node) || entry.g != arena_.dist(entry.node)) {
+      continue;
     }
-    return s;
-  };
-
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      frontier;
-
-  touch(from).distance = 0;
-  frontier.push(QueueEntry{heuristic(from, target_cell), 0, from});
-
-  while (!frontier.empty()) {
-    const QueueEntry entry = frontier.top();
-    frontier.pop();
-    NodeState& current = touch(entry.node);
-    if (current.settled || entry.g != current.distance) continue;
-    current.settled = true;
+    arena_.settle(entry.node);
 
     if (entry.node == to) {
       last_cost_ = entry.g;
       std::vector<RouteNodeId> path;
-      for (RouteNodeId n = to; n.is_valid(); n = states[n.index()].parent) {
+      for (RouteNodeId n = to; n.is_valid(); n = arena_.parent(n)) {
         path.push_back(n);
         if (n == from) break;
       }
@@ -93,7 +56,7 @@ std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
 
       Duration weight = 0;
       if (edge.is_turn) {
-        weight = options_.turn_aware ? params_.t_turn : 0;
+        weight = turn_cost;
       } else if (v.is_trap) {
         // Traps are endpoints only, never corridors.
         if (v.trap != target_trap && v.trap != allowed_trap) continue;
@@ -114,13 +77,12 @@ std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
       }
 
       const Duration candidate = entry.g + weight;
-      NodeState& next = touch(edge.to);
-      if (candidate < next.distance) {
-        next.distance = candidate;
-        next.parent = entry.node;
-        frontier.push(
-            QueueEntry{candidate + heuristic(edge.to, target_cell), candidate,
-                       edge.to});
+      if (candidate < arena_.dist(edge.to)) {
+        arena_.relax(edge.to, candidate, entry.node);
+        arena_.heap_push(
+            candidate + grid_lower_bound(v, target_cell, params_.t_move,
+                                         turn_cost),
+            candidate, edge.to);
       }
     }
   }

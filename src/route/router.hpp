@@ -22,6 +22,7 @@
 #include "route/congestion.hpp"
 #include "route/path.hpp"
 #include "route/routing_graph.hpp"
+#include "route/search_arena.hpp"
 
 namespace qspr {
 
@@ -56,22 +57,14 @@ class Router {
   [[nodiscard]] const RoutingGraph& graph() const { return *graph_; }
 
  private:
-  [[nodiscard]] Duration heuristic(RouteNodeId node, Position target) const;
-
   const RoutingGraph* graph_;
   TechnologyParams params_;
   RouterOptions options_;
   Duration last_cost_ = 0;
 
-  // Reusable search workspace, invalidated by bumping `generation_`.
-  struct NodeState {
-    Duration distance = 0;
-    RouteNodeId parent;
-    std::uint32_t generation = 0;
-    bool settled = false;
-  };
-  std::vector<NodeState> states_;
-  std::uint32_t generation_ = 0;
+  // Reusable search workspace (distances, parents, heap buffer); reset in
+  // O(1) per query via generation stamping.
+  SearchArena<Duration> arena_;
 };
 
 }  // namespace qspr

@@ -60,11 +60,15 @@ void RoutingGraph::create_nodes() {
       }
     }
   }
-  edges_.resize(nodes_.size());
 }
 
 void RoutingGraph::create_edges() {
   const Fabric& fabric = *fabric_;
+  std::vector<EdgeRecord> records;
+  const auto add_edge = [&records](RouteNodeId a, RouteNodeId b,
+                                   bool is_turn) {
+    records.push_back(EdgeRecord{a, b, is_turn});
+  };
   // Turn edges: both orientation vertices of the same cell.
   for (int row = 0; row < fabric.rows(); ++row) {
     for (int col = 0; col < fabric.cols(); ++col) {
@@ -75,7 +79,7 @@ void RoutingGraph::create_edges() {
     }
   }
   // Move edges between adjacent travel cells, along the shared axis. Only
-  // East/South scanned; add_edge inserts both directions.
+  // East/South scanned; each record packs into both directions.
   for (int row = 0; row < fabric.rows(); ++row) {
     for (int col = 0; col < fabric.cols(); ++col) {
       const Position p{row, col};
@@ -102,11 +106,29 @@ void RoutingGraph::create_edges() {
       add_edge(t, c, /*is_turn=*/false);
     }
   }
+  pack_edges(records);
 }
 
-void RoutingGraph::add_edge(RouteNodeId a, RouteNodeId b, bool is_turn) {
-  edges_[a.index()].push_back(RouteEdge{b, is_turn});
-  edges_[b.index()].push_back(RouteEdge{a, is_turn});
+void RoutingGraph::pack_edges(const std::vector<EdgeRecord>& records) {
+  // Two-pass CSR build. Scatter order matches the legacy per-node push_back
+  // order (record order, forward direction before reverse), so adjacency
+  // iteration order — and therefore every deterministic search tie-break —
+  // is unchanged by the layout switch.
+  const std::size_t n = nodes_.size();
+  edge_offsets_.assign(n + 1, 0);
+  for (const EdgeRecord& r : records) {
+    ++edge_offsets_[r.a.index() + 1];
+    ++edge_offsets_[r.b.index() + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) edge_offsets_[i + 1] += edge_offsets_[i];
+
+  edge_storage_.resize(records.size() * 2);
+  std::vector<std::uint32_t> cursor(edge_offsets_.begin(),
+                                    edge_offsets_.end() - 1);
+  for (const EdgeRecord& r : records) {
+    edge_storage_[cursor[r.a.index()]++] = RouteEdge{r.b, r.is_turn};
+    edge_storage_[cursor[r.b.index()]++] = RouteEdge{r.a, r.is_turn};
+  }
 }
 
 const RouteNode& RoutingGraph::node(RouteNodeId id) const {
@@ -115,10 +137,12 @@ const RouteNode& RoutingGraph::node(RouteNodeId id) const {
   return nodes_[id.index()];
 }
 
-const std::vector<RouteEdge>& RoutingGraph::edges(RouteNodeId id) const {
-  require(id.is_valid() && id.index() < edges_.size(),
+EdgeSpan RoutingGraph::edges(RouteNodeId id) const {
+  require(id.is_valid() && id.index() < nodes_.size(),
           "route node id out of range");
-  return edges_[id.index()];
+  const std::uint32_t begin = edge_offsets_[id.index()];
+  const std::uint32_t end = edge_offsets_[id.index() + 1];
+  return EdgeSpan(edge_storage_.data() + begin, end - begin);
 }
 
 RouteNodeId RoutingGraph::node_at(Position cell, Orientation o) const {

@@ -11,8 +11,14 @@
 //
 // Edge weights are evaluated at query time against the current congestion
 // state (Eq. 2); this class only stores the static structure.
+//
+// Storage is CSR (compressed sparse row): one contiguous edge array indexed
+// by a per-node offset table, so the inner routing loops walk adjacency
+// lists without pointer-chasing per node. `edges()` hands out a lightweight
+// span view over the node's slice of the shared edge array.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -39,15 +45,37 @@ struct RouteEdge {
   bool is_turn = false;
 };
 
+/// Non-owning view of one node's adjacency slice inside the CSR edge array.
+class EdgeSpan {
+ public:
+  constexpr EdgeSpan() = default;
+  constexpr EdgeSpan(const RouteEdge* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const RouteEdge* begin() const { return data_; }
+  [[nodiscard]] constexpr const RouteEdge* end() const { return data_ + size_; }
+  [[nodiscard]] constexpr std::size_t size() const { return size_; }
+  [[nodiscard]] constexpr bool empty() const { return size_ == 0; }
+  constexpr const RouteEdge& operator[](std::size_t i) const {
+    return data_[i];
+  }
+
+ private:
+  const RouteEdge* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 class RoutingGraph {
  public:
   explicit RoutingGraph(const Fabric& fabric);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  /// Number of directed edges in the CSR array (twice the undirected count).
+  [[nodiscard]] std::size_t edge_count() const { return edge_storage_.size(); }
   [[nodiscard]] const RouteNode& node(RouteNodeId id) const;
 
   /// Outgoing edges of `id` (the graph is symmetric).
-  [[nodiscard]] const std::vector<RouteEdge>& edges(RouteNodeId id) const;
+  [[nodiscard]] EdgeSpan edges(RouteNodeId id) const;
 
   /// Vertex for travelling through `cell` with orientation `o`; invalid when
   /// the cell does not support that orientation.
@@ -59,9 +87,16 @@ class RoutingGraph {
   [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
 
  private:
+  /// An undirected edge gathered during construction, before CSR packing.
+  struct EdgeRecord {
+    RouteNodeId a;
+    RouteNodeId b;
+    bool is_turn;
+  };
+
   void create_nodes();
   void create_edges();
-  void add_edge(RouteNodeId a, RouteNodeId b, bool is_turn);
+  void pack_edges(const std::vector<EdgeRecord>& records);
 
   [[nodiscard]] std::size_t cell_slot(Position p, Orientation o) const {
     const auto cell = static_cast<std::size_t>(p.row) *
@@ -72,7 +107,10 @@ class RoutingGraph {
 
   const Fabric* fabric_;
   std::vector<RouteNode> nodes_;
-  std::vector<std::vector<RouteEdge>> edges_;
+  // CSR adjacency: node i's edges live at
+  // edge_storage_[edge_offsets_[i] .. edge_offsets_[i + 1]).
+  std::vector<RouteEdge> edge_storage_;
+  std::vector<std::uint32_t> edge_offsets_;
   std::vector<std::int32_t> node_by_cell_orientation_;  // -1 when absent
   std::vector<RouteNodeId> node_by_trap_;
 };

@@ -1,0 +1,149 @@
+// Reusable shortest-path search workspace (the routing hot path's arena).
+//
+// Every search over the RoutingGraph needs per-node distance / parent /
+// settled state plus a priority-queue buffer. Allocating those per query —
+// O(n) per routed net per negotiation iteration — dominated the router's
+// runtime on large fabrics. A SearchArena owns them once and invalidates in
+// O(1) by bumping a generation counter: a node's state is live only while
+// its stamp matches the current generation, so `begin()` costs nothing per
+// node and the arrays stay hot in cache across queries.
+//
+// The arena is shared by the incremental Router (integer Duration costs)
+// and the PathFinder negotiated search (double congestion costs), hence the
+// cost-type template. Not thread-safe; one arena per searching thread.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace qspr {
+
+template <typename Cost>
+class SearchArena {
+ public:
+  /// Heap entry over (f = g + h, g, node); g- and node-tie-breaks keep the
+  /// search deterministic across platforms.
+  struct HeapEntry {
+    Cost f;
+    Cost g;
+    RouteNodeId node;
+
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.f != b.f) return a.f > b.f;
+      if (a.g != b.g) return a.g > b.g;
+      return a.node > b.node;
+    }
+  };
+
+  static constexpr Cost infinity() {
+    if constexpr (std::is_floating_point_v<Cost>) {
+      return std::numeric_limits<Cost>::infinity();
+    } else {
+      return static_cast<Cost>(kInfiniteDuration);
+    }
+  }
+
+  /// Starts a fresh search over `node_count` nodes. O(1) except on first use
+  /// (or growth), when the arrays are sized; prior state is invalidated by
+  /// the generation bump.
+  void begin(std::size_t node_count) {
+    if (dist_.size() < node_count) {
+      dist_.resize(node_count);
+      parent_.resize(node_count);
+      settled_.resize(node_count);
+      stamp_.resize(node_count, 0);
+    }
+    if (++generation_ == 0) {  // wrapped: stamps may alias, wipe them
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      generation_ = 1;
+    }
+    heap_.clear();
+  }
+
+  [[nodiscard]] Cost dist(RouteNodeId id) {
+    touch(id.index());
+    return dist_[id.index()];
+  }
+  [[nodiscard]] RouteNodeId parent(RouteNodeId id) const {
+    return stamp_[id.index()] == generation_ ? parent_[id.index()]
+                                             : RouteNodeId::invalid();
+  }
+  [[nodiscard]] bool settled(RouteNodeId id) {
+    touch(id.index());
+    return settled_[id.index()] != 0;
+  }
+  void settle(RouteNodeId id) { settled_[id.index()] = 1; }
+  /// Records a relaxation: `id` is now reached at `g` via `from`.
+  void relax(RouteNodeId id, Cost g, RouteNodeId from) {
+    touch(id.index());
+    dist_[id.index()] = g;
+    parent_[id.index()] = from;
+  }
+
+  [[nodiscard]] bool heap_empty() const { return heap_.empty(); }
+  void heap_push(Cost f, Cost g, RouteNodeId node) {
+    heap_.push_back(HeapEntry{f, g, node});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  HeapEntry heap_pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const HeapEntry top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+ private:
+  void touch(std::size_t i) {
+    if (stamp_[i] != generation_) {
+      stamp_[i] = generation_;
+      dist_[i] = infinity();
+      parent_[i] = RouteNodeId::invalid();
+      settled_[i] = 0;
+    }
+  }
+
+  std::vector<Cost> dist_;
+  std::vector<RouteNodeId> parent_;
+  std::vector<std::uint8_t> settled_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t generation_ = 0;
+  std::vector<HeapEntry> heap_;  // binary min-heap via std::push/pop_heap
+};
+
+/// Generation-stamped membership set over a dense index range: O(1) insert /
+/// contains / clear, no per-use allocation. Replaces the O(P²) repeated
+/// std::find dedup when collecting the distinct resources of a path.
+class StampedSet {
+ public:
+  void reset(std::size_t universe) {
+    if (stamp_.size() < universe) stamp_.resize(universe, 0);
+    if (++generation_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      generation_ = 1;
+    }
+  }
+
+  /// Inserts `i`; returns true when `i` was not yet a member.
+  bool insert(std::size_t i) {
+    if (stamp_[i] == generation_) return false;
+    stamp_[i] = generation_;
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::size_t i) const {
+    return stamp_[i] == generation_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace qspr

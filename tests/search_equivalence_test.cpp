@@ -1,0 +1,202 @@
+// Equivalence and determinism guarantees of the optimized routing core.
+//
+// The arena-backed A* engine must negotiate the same solution quality as the
+// reference Dijkstra engine (same total delay, same convergence), and the
+// whole pipeline must be bit-for-bit deterministic across runs. The CSR
+// adjacency layout is also checked structurally against the graph
+// invariants the searches rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/linear_fabric.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "route/heuristic.hpp"
+#include "route/pathfinder.hpp"
+#include "route/router.hpp"
+
+namespace qspr {
+namespace {
+
+std::vector<NetRequest> random_nets(const Fabric& fabric, int count,
+                                    std::uint64_t seed) {
+  const auto traps = fabric.traps_by_distance(fabric.center());
+  Rng rng(seed);
+  std::vector<NetRequest> nets;
+  const std::size_t pool = std::min<std::size_t>(traps.size(), 64);
+  for (int i = 0; i < count; ++i) {
+    const TrapId from = traps[rng.uniform_index(pool)];
+    TrapId to = traps[rng.uniform_index(pool)];
+    while (to == from) to = traps[rng.uniform_index(pool)];
+    nets.push_back({from, to});
+  }
+  return nets;
+}
+
+PathFinderOptions with_engine(PathFinderEngine engine, bool turn_aware) {
+  PathFinderOptions options;
+  options.engine = engine;
+  options.turn_aware = turn_aware;
+  return options;
+}
+
+// Strict negotiation-level equality (total delay, iterations, overuse) is
+// slightly stronger than A* optimality guarantees: both engines find
+// minimum-negotiated-cost paths per query, but equal-cost ties could in
+// principle resolve to paths with different footprints and steer later
+// iterations apart. The fabrics and seeds here are fixed, so the check is
+// deterministic; if a future fabric/seed trips only the strict fields while
+// per-query costs still match, weaken those assertions — that is a tie
+// artifact, not an engine bug.
+void expect_equivalent(const Fabric& fabric, const std::vector<NetRequest>& nets,
+                       bool turn_aware) {
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const PathFinderResult reference = route_nets_negotiated(
+      graph, params, nets,
+      with_engine(PathFinderEngine::ReferenceDijkstra, turn_aware));
+  const PathFinderResult optimized = route_nets_negotiated(
+      graph, params, nets,
+      with_engine(PathFinderEngine::AStarArena, turn_aware));
+
+  EXPECT_EQ(optimized.total_delay, reference.total_delay);
+  EXPECT_EQ(optimized.converged, reference.converged);
+  EXPECT_EQ(optimized.iterations, reference.iterations);
+  EXPECT_EQ(optimized.overused_resources, reference.overused_resources);
+}
+
+TEST(SearchEquivalenceTest, LinearFabricMatchesReference) {
+  const Fabric fabric = make_linear_fabric(10);
+  for (const std::uint64_t seed : {1u, 7u, 23u}) {
+    expect_equivalent(fabric, random_nets(fabric, 6, seed),
+                      /*turn_aware=*/true);
+  }
+}
+
+TEST(SearchEquivalenceTest, QualeFabricMatchesReference) {
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  for (const std::uint64_t seed : {3u, 11u, 42u}) {
+    expect_equivalent(fabric, random_nets(fabric, 8, seed),
+                      /*turn_aware=*/true);
+  }
+}
+
+TEST(SearchEquivalenceTest, TurnUnawareModeMatchesReference) {
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  expect_equivalent(fabric, random_nets(fabric, 8, 5),
+                    /*turn_aware=*/false);
+}
+
+TEST(SearchEquivalenceTest, ContendedNetsStillMatchReference) {
+  // All nets share one corridor so negotiation must actually iterate.
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  std::vector<NetRequest> nets;
+  const TrapId left = fabric.trap_at({1, 1});
+  const TrapId right = fabric.trap_at({1, 7});
+  ASSERT_TRUE(left.is_valid());
+  ASSERT_TRUE(right.is_valid());
+  for (int i = 0; i < 4; ++i) nets.push_back({left, right});
+  expect_equivalent(fabric, nets, /*turn_aware=*/true);
+}
+
+TEST(SearchDeterminismTest, RepeatedRunsProduceIdenticalPaths) {
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const auto nets = random_nets(fabric, 10, 17);
+
+  const PathFinderResult first = route_nets_negotiated(graph, params, nets);
+  const PathFinderResult second = route_nets_negotiated(graph, params, nets);
+  ASSERT_EQ(first.paths.size(), second.paths.size());
+  for (std::size_t i = 0; i < first.paths.size(); ++i) {
+    EXPECT_EQ(first.paths[i].nodes, second.paths[i].nodes) << "net " << i;
+  }
+  EXPECT_EQ(first.total_delay, second.total_delay);
+  EXPECT_EQ(first.iterations, second.iterations);
+}
+
+TEST(SearchDeterminismTest, RouterArenaReuseDoesNotPerturbResults) {
+  // A shared Router (one arena across queries) must answer exactly like a
+  // fresh Router per query.
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  CongestionState congestion(fabric.segment_count(), fabric.junction_count());
+  Router shared(graph, params);
+
+  const auto traps = fabric.traps_by_distance(fabric.center());
+  for (std::size_t i = 0; i + 1 < std::min<std::size_t>(traps.size(), 12);
+       ++i) {
+    Router fresh(graph, params);
+    const auto a = shared.route_trap_to_trap(traps[i], traps[i + 1],
+                                             congestion);
+    const auto b = fresh.route_trap_to_trap(traps[i], traps[i + 1],
+                                            congestion);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->nodes, b->nodes);
+    EXPECT_EQ(shared.last_path_cost(), fresh.last_path_cost());
+  }
+}
+
+TEST(CsrGraphTest, EdgeSpansCoverSymmetricGraph) {
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph graph(fabric);
+
+  std::size_t total = 0;
+  for (std::size_t u = 0; u < graph.node_count(); ++u) {
+    const RouteNodeId id = RouteNodeId::from_index(u);
+    const EdgeSpan span = graph.edges(id);
+    EXPECT_FALSE(span.empty()) << "isolated route node " << u;
+    total += span.size();
+    for (const RouteEdge& edge : span) {
+      ASSERT_TRUE(edge.to.is_valid());
+      ASSERT_LT(edge.to.index(), graph.node_count());
+      // Symmetry: the reverse edge exists with the same turn flag.
+      bool found = false;
+      for (const RouteEdge& back : graph.edges(edge.to)) {
+        if (back.to == id && back.is_turn == edge.is_turn) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "missing reverse edge " << edge.to << " -> " << u;
+    }
+  }
+  EXPECT_EQ(total, graph.edge_count());
+}
+
+TEST(HeuristicTest, GridLowerBoundIsConsistentAcrossAllEdges) {
+  // h(u) <= w(u, v) + h(v) for every directed edge and every trap target —
+  // the property that keeps A*'s settled-node shortcut exact.
+  const Fabric fabric = make_quale_fabric({2, 2, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const Duration turn_cost = params.t_turn;
+
+  for (const Trap& trap : fabric.traps()) {
+    const Position target = trap.position;
+    const RouteNodeId target_node = graph.trap_node(trap.id);
+    for (std::size_t u = 0; u < graph.node_count(); ++u) {
+      const RouteNodeId id = RouteNodeId::from_index(u);
+      const Duration hu =
+          grid_lower_bound(graph.node(id), target, params.t_move, turn_cost);
+      for (const RouteEdge& edge : graph.edges(id)) {
+        // Edges into non-target traps are pruned by every search (traps are
+        // endpoints only), so consistency is only required elsewhere.
+        const RouteNode& v = graph.node(edge.to);
+        if (v.is_trap && edge.to != target_node) continue;
+        // Minimum possible selection weight of this edge.
+        const Duration weight = edge.is_turn ? turn_cost : params.t_move;
+        const Duration hv =
+            grid_lower_bound(v, target, params.t_move, turn_cost);
+        EXPECT_LE(hu, weight + hv)
+            << "inconsistent bound on edge " << u << " -> " << edge.to;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qspr
