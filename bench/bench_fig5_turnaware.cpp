@@ -106,17 +106,22 @@ int main() {
   CongestionState congestion(fabric.segment_count(), fabric.junction_count());
   Router naive(graph, params, RouterOptions{/*turn_aware=*/false});
   Router enhanced(graph, params, RouterOptions{/*turn_aware=*/true});
-  const auto naive_path = naive.route_trap_to_trap(from, to, congestion);
-  const auto enhanced_path = enhanced.route_trap_to_trap(from, to, congestion);
+  SearchArena<Duration> arena;
+  Duration naive_selection = 0;
+  Duration enhanced_selection = 0;
+  const auto naive_path =
+      naive.route_trap_to_trap(from, to, congestion, arena, &naive_selection);
+  const auto enhanced_path = enhanced.route_trap_to_trap(
+      from, to, congestion, arena, &enhanced_selection);
   std::cout << "\nnaive router pick:    " << naive_path->move_count()
             << " moves, " << naive_path->turn_count() << " turns, "
             << naive_path->total_delay()
-            << " us physical (selection cost " << naive.last_path_cost()
+            << " us physical (selection cost " << naive_selection
             << " - blind to turns, any of the paths above is 'optimal')\n"
             << "enhanced router pick: " << enhanced_path->move_count()
             << " moves, " << enhanced_path->turn_count() << " turns, "
             << enhanced_path->total_delay()
-            << " us physical (selection cost " << enhanced.last_path_cost()
+            << " us physical (selection cost " << enhanced_selection
             << " - guaranteed minimum delay)\n";
 
   // Sweep: the guaranteed advantage across random trap pairs on the 45x85
@@ -133,8 +138,9 @@ int main() {
     const TrapId a = big.traps()[rng.uniform_index(big.trap_count())].id;
     const TrapId b = big.traps()[rng.uniform_index(big.trap_count())].id;
     if (a == b) continue;
-    const auto pn = big_naive.route_trap_to_trap(a, b, big_congestion);
-    const auto pe = big_enhanced.route_trap_to_trap(a, b, big_congestion);
+    const auto pn = big_naive.route_trap_to_trap(a, b, big_congestion, arena);
+    const auto pe = big_enhanced.route_trap_to_trap(a, b, big_congestion,
+                                                    arena);
     saved.add(static_cast<double>(pn->total_delay() - pe->total_delay()));
   }
   std::cout << "\nrandom trap pairs on the 45x85 fabric (n=" << saved.count()

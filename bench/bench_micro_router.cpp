@@ -32,10 +32,11 @@ void BM_DijkstraCornerToCorner(benchmark::State& state) {
   const Fabric& fabric = paper_fabric();
   CongestionState congestion(fabric.segment_count(), fabric.junction_count());
   Router router(paper_routing(), TechnologyParams{});
+  SearchArena<Duration> arena;
   const TrapId from = fabric.traps().front().id;
   const TrapId to = fabric.traps().back().id;
   for (auto _ : state) {
-    auto path = router.route_trap_to_trap(from, to, congestion);
+    auto path = router.route_trap_to_trap(from, to, congestion, arena);
     benchmark::DoNotOptimize(path);
   }
 }
@@ -45,10 +46,11 @@ void BM_DijkstraNeighbourTraps(benchmark::State& state) {
   const Fabric& fabric = paper_fabric();
   CongestionState congestion(fabric.segment_count(), fabric.junction_count());
   Router router(paper_routing(), TechnologyParams{});
+  SearchArena<Duration> arena;
   const auto near_center = fabric.traps_by_distance(fabric.center());
   for (auto _ : state) {
-    auto path =
-        router.route_trap_to_trap(near_center[0], near_center[1], congestion);
+    auto path = router.route_trap_to_trap(near_center[0], near_center[1],
+                                          congestion, arena);
     benchmark::DoNotOptimize(path);
   }
 }

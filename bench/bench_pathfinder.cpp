@@ -35,13 +35,14 @@ int main() {
 
     // Greedy: route one net after another with hard Eq. 2 reservations.
     Router router(graph, params);
+    SearchArena<Duration> arena;
     CongestionState congestion(fabric.segment_count(),
                                fabric.junction_count());
     Duration greedy_delay = 0;
     int blocked = 0;
     for (const NetRequest& net : nets) {
       const auto path = router.route_trap_to_trap(net.from, net.to,
-                                                  congestion);
+                                                  congestion, arena);
       if (!path.has_value()) {
         ++blocked;  // would wait in the busy queue
         continue;

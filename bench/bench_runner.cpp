@@ -2,10 +2,12 @@
 // scaling benches and emits a machine-readable BENCH_routing.json so every
 // perf PR leaves a recorded trajectory.
 //
-//   bench_runner [--smoke] [--output PATH]
+//   bench_runner [--smoke] [--output PATH] [--jobs N]
 //
 // --smoke shrinks repetition counts to a few iterations (CI bitrot guard);
-// --output defaults to BENCH_routing.json in the working directory.
+// --output defaults to BENCH_routing.json in the working directory;
+// --jobs caps the worker counts exercised by the parallel-scaling suite
+// (default 8; the suite always starts from 1 worker).
 //
 // Reported per bench: ns/query (a query is one inner shortest-path search),
 // negotiation iterations-to-converge, and total routed delay. The PathFinder
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/thread_pool.hpp"
 #include "route/pathfinder.hpp"
 
 using namespace qspr;
@@ -68,8 +71,12 @@ PathFinderSample run_pathfinder(const std::string& name,
   sample.repetitions = repetitions;
 
   PathFinderResult result;
+  // One scratch reused across repetitions — the per-worker ownership pattern
+  // of the trial-parallel pipeline, and it keeps allocations out of the
+  // timed loop.
+  PathFinderScratch scratch;
   const double ns_per_rep = qspr_bench::time_ns_per_rep(repetitions, [&] {
-    result = route_nets_negotiated(graph, params, nets, options);
+    result = route_nets_negotiated(graph, params, nets, options, scratch);
   });
   // One "query" is one inner shortest-path search: every net is re-routed
   // once per negotiation iteration.
@@ -103,14 +110,26 @@ void write_sample(JsonWriter& json, const PathFinderSample& sample) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string output = "BENCH_routing.json";
+  int max_jobs = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--output" && i + 1 < argc) {
       output = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        max_jobs = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        max_jobs = 0;
+      }
+      if (max_jobs < 1) {
+        std::cerr << "--jobs must be a positive integer\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: bench_runner [--smoke] [--output PATH]\n";
+      std::cerr << "usage: bench_runner [--smoke] [--output PATH] "
+                   "[--jobs N]\n";
       return 2;
     }
   }
@@ -132,6 +151,7 @@ int main(int argc, char** argv) {
     CongestionState congestion(fabric.segment_count(),
                                fabric.junction_count());
     Router router(graph, params);
+    SearchArena<Duration> arena;
     const auto central = fabric.traps_by_distance(fabric.center());
     const TrapId corner_a = fabric.traps().front().id;
     const TrapId corner_b = fabric.traps().back().id;
@@ -147,7 +167,8 @@ int main(int argc, char** argv) {
                          Case{"neighbour_traps", central[0], central[1]}}) {
       Duration delay = 0;
       const double ns = qspr_bench::time_ns_per_rep(reps, [&] {
-        const auto path = router.route_trap_to_trap(c.from, c.to, congestion);
+        const auto path =
+            router.route_trap_to_trap(c.from, c.to, congestion, arena);
         delay = path.has_value() ? path->total_delay() : -1;
       });
       std::cout << "micro_router/" << c.name << ": "
@@ -238,6 +259,93 @@ int main(int argc, char** argv) {
       write_sample(json, sample);
     }
     json.end_array();
+  }
+
+  // --------------------------------------------------- parallel scaling ---
+  // Trial-parallel mapping throughput: the Monte-Carlo trial loop and the
+  // MVFB seed loop on the [[7,1,3]] benchmark, at growing worker counts.
+  // Results are bit-identical at any worker count (checked below), so the
+  // only thing that varies is trials/sec.
+  {
+    const Program program = make_encoder(QeccCode::Q7_1_3);
+    const Fabric fabric = make_paper_fabric();
+    std::vector<int> job_levels;
+    for (const int jobs : {1, 2, 4, 8}) {
+      if (jobs <= max_jobs) job_levels.push_back(jobs);
+    }
+
+    struct Flow {
+      const char* name;
+      PlacerKind placer;
+      int trials;
+    };
+    const std::vector<Flow> flows = {
+        {"monte_carlo", PlacerKind::MonteCarlo, smoke ? 10 : 100},
+        {"mvfb", PlacerKind::Mvfb, smoke ? 4 : 100},
+    };
+
+    TextTable table({"Flow", "Trials", "Jobs", "wall ms", "trials/sec",
+                     "speedup", "identical"});
+    json.key("parallel_scaling").begin_object();
+    json.field("code", "[[7,1,3]]");
+    json.field("hardware_concurrency",
+               static_cast<long long>(ThreadPool::default_worker_count()));
+    json.key("runs").begin_array();
+    for (const Flow& flow : flows) {
+      double serial_ms = 0.0;
+      Duration serial_latency = 0;
+      Placement serial_placement;
+      Placement serial_final;
+      std::string serial_trace;
+      for (const int jobs : job_levels) {
+        MapperOptions options;
+        options.placer = flow.placer;
+        options.monte_carlo_trials = flow.trials;
+        options.mvfb_seeds = flow.trials;
+        options.jobs = jobs;
+        const MapResult result = map_program(program, fabric, options);
+        if (jobs == 1) {
+          serial_ms = result.cpu_ms;
+          serial_latency = result.latency;
+          serial_placement = result.initial_placement;
+          serial_final = result.final_placement;
+          serial_trace = result.trace.to_string();
+        }
+        const bool identical = result.latency == serial_latency &&
+                               result.initial_placement == serial_placement &&
+                               result.final_placement == serial_final &&
+                               result.trace.to_string() == serial_trace;
+        const double trials_per_sec =
+            result.cpu_ms > 0.0
+                ? static_cast<double>(result.placement_runs) * 1000.0 /
+                      result.cpu_ms
+                : 0.0;
+        const double speedup =
+            result.cpu_ms > 0.0 ? serial_ms / result.cpu_ms : 0.0;
+        table.add_row({flow.name, std::to_string(result.placement_runs),
+                       std::to_string(jobs), format_fixed(result.cpu_ms, 1),
+                       format_fixed(trials_per_sec, 1),
+                       format_fixed(speedup, 2) + "x",
+                       identical ? "yes" : "NO"});
+        json.begin_object()
+            .field("flow", std::string(flow.name))
+            .field("trials", flow.trials)
+            .field("placement_runs", static_cast<long long>(result.placement_runs))
+            .field("jobs", jobs)
+            .field("wall_ms", result.cpu_ms)
+            .field("trial_cpu_ms", result.trial_cpu_ms)
+            .field("trials_per_sec", trials_per_sec)
+            .field("speedup_vs_serial", speedup)
+            .field("latency_us", static_cast<long long>(result.latency))
+            .field("identical_to_serial", identical)
+            .end_object();
+      }
+    }
+    json.end_array().end_object();
+    std::cout << "\nparallel scaling ([[7,1,3]], "
+              << ThreadPool::default_worker_count()
+              << " hardware threads):\n"
+              << table.to_string();
   }
 
   json.end_object();

@@ -14,6 +14,7 @@
 
 #include "circuit/dot.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 #include "core/mapper.hpp"
 #include "core/qspr.hpp"
 
@@ -30,6 +31,9 @@ int usage(const char* argv0) {
       << "  --placer <p>       mvfb (default) | mc | center\n"
       << "  --m <n>            MVFB seeds / MC trials (default 100)\n"
       << "  --seed <n>         RNG seed (default 1)\n"
+      << "  --jobs <n>         worker threads for placement trials (default:\n"
+      << "                     hardware concurrency; results are identical\n"
+      << "                     at any value)\n"
       << "  --fabric <file>    fabric drawing to map onto (default: 45x85 "
          "QUALE fabric)\n"
       << "  --trace            dump the control trace\n"
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   try {
     std::optional<Program> program;
     MapperOptions options;
+    options.jobs = ThreadPool::default_worker_count();
     std::optional<Fabric> fabric;
     bool dump_trace = false;
     bool dump_dot = false;
@@ -92,6 +97,10 @@ int main(int argc, char** argv) {
         options.monte_carlo_trials = m;
       } else if (arg == "--seed") {
         options.rng_seed = static_cast<std::uint64_t>(parse_integer(next()));
+      } else if (arg == "--jobs") {
+        const int jobs = static_cast<int>(parse_integer(next()));
+        if (jobs < 1) throw Error("--jobs must be at least 1");
+        options.jobs = jobs;
       } else if (arg == "--fabric") {
         fabric = parse_fabric_file(next());
       } else if (arg == "--trace") {
@@ -139,7 +148,9 @@ int main(int argc, char** argv) {
               << result.stats.turns << "\n"
               << "placement runs:   " << result.placement_runs << "\n"
               << "cpu time:         " << format_fixed(result.cpu_ms, 1)
-              << " ms\n";
+              << " ms wall (" << result.jobs << " jobs, "
+              << format_fixed(result.trial_cpu_ms, 1)
+              << " ms aggregate trial cpu)\n";
     if (dump_report) {
       std::cout << "\n" << make_report(result, *program, *fabric);
     }

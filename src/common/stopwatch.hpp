@@ -1,7 +1,9 @@
-// Wall-clock stopwatch for the CPU-runtime columns of Table 1.
+// Wall-clock stopwatch for the CPU-runtime columns of Table 1, plus a
+// per-thread CPU timer for the trial-parallel speedup accounting.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace qspr {
 
@@ -21,6 +23,35 @@ class Stopwatch {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU time consumed by the *calling thread* since construction. Unlike the
+/// wall-clock Stopwatch it does not count time the thread spends descheduled,
+/// so summing it across workers measures real parallel work: aggregate
+/// thread-CPU / wall approaches the worker count only when the hardware
+/// actually runs the workers concurrently. Falls back to wall time on
+/// platforms without CLOCK_THREAD_CPUTIME_ID.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  [[nodiscard]] double elapsed_ms() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) * 1e3 +
+             static_cast<double>(ts.tv_nsec) / 1e6;
+    }
+#endif
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace qspr

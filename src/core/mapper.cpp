@@ -85,10 +85,12 @@ ScheduleOptions schedule_options_for(const MapperOptions& options) {
 MapResult map_program(const Program& program, const Fabric& fabric,
                       const MapperOptions& options) {
   const Stopwatch stopwatch;
+  require(options.jobs >= 1, "mapper needs at least one worker (jobs >= 1)");
   const DependencyGraph qidg = DependencyGraph::build(program);
 
   MapResult result;
   result.kind = options.kind;
+  result.jobs = options.jobs;
   result.ideal_latency = qidg.critical_path_latency(options.tech);
 
   if (options.kind == MapperKind::IdealBaseline) {
@@ -117,20 +119,25 @@ MapResult map_program(const Program& program, const Fabric& fabric,
     // Single-placement flows: QUALE / QPOS (center placement, §I) or a QSPR
     // ablation with the center placer.
     const Placement initial = center_placement(fabric, program.qubit_count());
+    const ThreadCpuTimer trial_watch;
     ExecutionResult execution = execute_circuit(qidg, fabric, routing_graph,
                                                 rank, initial, exec);
+    result.trial_cpu_ms = trial_watch.elapsed_ms();
     finish_single(initial, std::move(execution));
     result.placement_runs = 1;
   } else if (options.placer == PlacerKind::MonteCarlo) {
     MonteCarloResult mc = monte_carlo_place_and_execute(
         qidg, fabric, routing_graph, rank, exec, options.monte_carlo_trials,
-        options.rng_seed);
+        options.rng_seed, options.jobs);
+    result.trial_cpu_ms = mc.trial_cpu_ms;
     finish_single(mc.best_initial_placement, std::move(mc.best_execution));
     result.placement_runs = mc.trials;
   } else {
     MvfbPlacer placer(qidg, fabric, routing_graph, rank, exec,
-                      MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed});
+                      MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed,
+                                  options.jobs});
     MvfbResult mvfb = placer.place_and_execute();
+    result.trial_cpu_ms = mvfb.trial_cpu_ms;
     result.latency = mvfb.best_latency;
     result.trace = std::move(mvfb.best_trace);
     result.initial_placement = std::move(mvfb.best_initial_placement);

@@ -39,6 +39,10 @@ struct MapperOptions {
   /// Trial budget when placer == MonteCarlo.
   int monte_carlo_trials = 100;
   std::uint64_t rng_seed = 1;
+  /// Worker threads evaluating placement trials (MVFB seeds / Monte-Carlo
+  /// placements) concurrently. Mapping results are bit-identical at any
+  /// value; must be >= 1.
+  int jobs = 1;
 
   // --- Ablation overrides (nullopt = the mapper's published behaviour) ---
   std::optional<bool> turn_aware;
@@ -66,6 +70,14 @@ struct MapResult {
   int placement_runs = 1;
   /// Wall-clock mapping time.
   double cpu_ms = 0.0;
+  /// Thread-CPU time spent inside placement trials, summed over workers
+  /// (scheduler time, not wall clock: a descheduled worker accrues nothing).
+  /// trial_cpu_ms / cpu_ms therefore measures the parallelism the hardware
+  /// actually delivered — it approaches `jobs` only when that many cores
+  /// genuinely ran the trials.
+  double trial_cpu_ms = 0.0;
+  /// Worker threads the mapping ran with.
+  int jobs = 1;
 };
 
 /// Maps `program` onto `fabric`. Throws ValidationError / SimulationError on

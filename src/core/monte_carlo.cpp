@@ -1,33 +1,84 @@
 #include "core/monte_carlo.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "core/placer.hpp"
+#include "core/trial_context.hpp"
 
 namespace qspr {
 
 MonteCarloResult monte_carlo_place_and_execute(
     const DependencyGraph& qidg, const Fabric& fabric,
     const RoutingGraph& routing_graph, const std::vector<int>& rank,
-    const ExecutionOptions& exec_options, int trials,
-    std::uint64_t rng_seed) {
+    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
+    int jobs) {
   require(trials >= 1, "Monte Carlo placer needs at least one trial");
-  EventSimulator simulator(qidg, fabric, routing_graph, rank, exec_options);
-  Rng rng(rng_seed);
+  require(jobs >= 1, "Monte Carlo placer needs at least one worker");
+  // One simulator, shared read-only by all workers; each run threads the
+  // worker's own arena through.
+  const EventSimulator simulator(qidg, fabric, routing_graph, rank,
+                                 exec_options);
 
-  MonteCarloResult result;
+  // Fork one RNG per trial up front, in trial order: trial t's stream is a
+  // pure function of (rng_seed, t), independent of the worker count.
+  Rng root(rng_seed);
+  std::vector<Rng> trial_rngs;
+  trial_rngs.reserve(static_cast<std::size_t>(trials));
   for (int trial = 0; trial < trials; ++trial) {
-    Rng trial_rng = rng.fork();
-    const Placement placement =
-        random_center_placement(fabric, qidg.qubit_count(), trial_rng);
-    const ExecutionResult execution = simulator.run(placement);
-    ++result.trials;
-    if (execution.latency < result.best_latency) {
-      result.best_latency = execution.latency;
-      result.best_initial_placement = placement;
-      result.best_execution = execution;
+    trial_rngs.push_back(root.fork());
+  }
+
+  const int workers = std::min(jobs, trials);
+  std::vector<TrialContext> contexts(static_cast<std::size_t>(workers));
+  struct WorkerBest {
+    TrialContext::Incumbent incumbent;
+    Placement placement;
+    ExecutionResult execution;
+  };
+  std::vector<WorkerBest> best(static_cast<std::size_t>(workers));
+
+  ThreadPool pool(workers);
+  pool.parallel_for_each(
+      static_cast<std::size_t>(trials), [&](std::size_t trial, int worker) {
+        TrialContext& ctx = contexts[static_cast<std::size_t>(worker)];
+        const ThreadCpuTimer watch;
+        ctx.rng = trial_rngs[trial];
+        const Placement placement =
+            random_center_placement(fabric, qidg.qubit_count(), ctx.rng);
+        ExecutionResult execution = simulator.run(placement, ctx.arena);
+        WorkerBest& local = best[static_cast<std::size_t>(worker)];
+        if (local.incumbent.improved_by(execution.latency, trial)) {
+          local.incumbent = {execution.latency, trial};
+          local.placement = placement;
+          local.execution = std::move(execution);
+        }
+        ctx.cpu_ms += watch.elapsed_ms();
+      });
+
+  // Deterministic cross-worker merge by (latency, trial index).
+  MonteCarloResult result;
+  result.trials = trials;
+  WorkerBest* winner = nullptr;
+  for (WorkerBest& candidate : best) {
+    if (winner == nullptr ||
+        winner->incumbent.improved_by(candidate.incumbent.latency,
+                                      candidate.incumbent.trial_index)) {
+      winner = &candidate;
     }
   }
+  for (const TrialContext& ctx : contexts) result.trial_cpu_ms += ctx.cpu_ms;
+
+  require(winner != nullptr && winner->incumbent.latency < kInfiniteDuration,
+          "Monte Carlo produced no execution");
+  result.best_latency = winner->incumbent.latency;
+  result.best_initial_placement = std::move(winner->placement);
+  result.best_execution = std::move(winner->execution);
   return result;
 }
 

@@ -2,6 +2,11 @@
 // center placements, each fully scheduled and routed; the lowest-latency one
 // wins. It is the budget-matched baseline MVFB is compared against in
 // Table 1.
+//
+// Trials are independent by construction (per-trial RNGs are forked up front
+// by trial index), so they evaluate on `jobs` workers with bit-identical
+// results at any worker count: the winner is the (latency, trial index)
+// minimum.
 #pragma once
 
 #include "circuit/dependency_graph.hpp"
@@ -14,13 +19,16 @@ struct MonteCarloResult {
   Placement best_initial_placement;
   ExecutionResult best_execution;
   int trials = 0;
+  /// Thread-CPU time spent inside trials, summed over workers.
+  double trial_cpu_ms = 0.0;
 };
 
-/// Executes `trials` random center placements and keeps the best.
-/// Deterministic for a fixed rng_seed.
+/// Executes `trials` random center placements on `jobs` workers and keeps
+/// the best. Deterministic for a fixed rng_seed at any job count.
 MonteCarloResult monte_carlo_place_and_execute(
     const DependencyGraph& qidg, const Fabric& fabric,
     const RoutingGraph& routing_graph, const std::vector<int>& rank,
-    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed);
+    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
+    int jobs = 1);
 
 }  // namespace qspr

@@ -1,6 +1,13 @@
 #include "core/mvfb.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "core/placer.hpp"
+#include "core/trial_context.hpp"
 
 namespace qspr {
 
@@ -17,66 +24,119 @@ MvfbPlacer::MvfbPlacer(const DependencyGraph& qidg, const Fabric& fabric,
                     exec_options) {
   require(options_.seeds >= 1, "MVFB needs at least one seed");
   require(options_.stop_after >= 1, "MVFB stop_after must be positive");
+  require(options_.jobs >= 1, "MVFB needs at least one worker");
 }
 
-bool MvfbPlacer::update_best(MvfbResult& result,
-                             const ExecutionResult& execution,
-                             bool is_backward) const {
-  if (execution.latency >= result.best_latency) return false;
-  result.best_latency = execution.latency;
-  result.best_is_backward = is_backward;
-  result.best_execution = execution;
-  if (is_backward) {
-    // §IV.A: a winning backward computation is reported as its reverse — a
-    // forward execution starting from the backward run's *final* placement.
-    result.best_initial_placement = execution.final_placement;
-    result.best_trace = execution.trace.time_reversed();
-  } else {
-    result.best_initial_placement = execution.initial_placement;
-    result.best_trace = execution.trace;
+MvfbPlacer::SeedOutcome MvfbPlacer::run_seed(
+    Rng seed_rng, SearchArena<Duration>& arena) const {
+  SeedOutcome out;
+  Placement placement =
+      random_center_placement(*fabric_, qidg_->qubit_count(), seed_rng);
+  int non_improving = 0;
+
+  const auto record = [&](const ExecutionResult& execution, bool is_backward) {
+    if (execution.latency < out.best_latency) {
+      out.best_latency = execution.latency;
+      out.best_is_backward = is_backward;
+      out.best_execution = execution;
+      non_improving = 0;
+    } else {
+      ++non_improving;
+    }
+  };
+
+  while (non_improving < options_.stop_after &&
+         out.runs < options_.max_runs_per_seed) {
+    // Forward placement run: QIDG in schedule order S.
+    const ExecutionResult forward = forward_sim_.run(placement, arena);
+    ++out.runs;
+    record(forward, /*is_backward=*/false);
+    if (non_improving >= options_.stop_after ||
+        out.runs >= options_.max_runs_per_seed) {
+      break;
+    }
+
+    // Backward placement run: UIDG in reversed order S*, starting from the
+    // forward run's final placement.
+    const ExecutionResult backward =
+        backward_sim_.run(forward.final_placement, arena);
+    ++out.runs;
+    ++out.iterations;
+    record(backward, /*is_backward=*/true);
+
+    // The backward run's final placement seeds the next iteration.
+    placement = backward.final_placement;
   }
-  return true;
+  return out;
 }
 
 MvfbResult MvfbPlacer::place_and_execute() {
-  MvfbResult result;
-  Rng rng(options_.rng_seed);
-
+  // Fork one RNG per seed up front, in seed order: seed i's stream is a pure
+  // function of (rng_seed, i), independent of the worker count and of how
+  // the pool interleaves seeds.
+  Rng root(options_.rng_seed);
+  std::vector<Rng> seed_rngs;
+  seed_rngs.reserve(static_cast<std::size_t>(options_.seeds));
   for (int seed = 0; seed < options_.seeds; ++seed) {
-    Rng seed_rng = rng.fork();
-    Placement placement =
-        random_center_placement(*fabric_, qidg_->qubit_count(), seed_rng);
-    int non_improving = 0;
-    int runs_this_seed = 0;
+    seed_rngs.push_back(root.fork());
+  }
 
-    while (non_improving < options_.stop_after &&
-           runs_this_seed < options_.max_runs_per_seed) {
-      // Forward placement run: QIDG in schedule order S.
-      const ExecutionResult forward = forward_sim_.run(placement);
-      ++result.total_runs;
-      ++runs_this_seed;
-      non_improving = update_best(result, forward, /*is_backward=*/false)
-                          ? 0
-                          : non_improving + 1;
-      if (non_improving >= options_.stop_after ||
-          runs_this_seed >= options_.max_runs_per_seed) {
-        break;
-      }
+  const int workers = std::min(options_.jobs, options_.seeds);
+  std::vector<TrialContext> contexts(static_cast<std::size_t>(workers));
+  struct WorkerBest {
+    TrialContext::Incumbent incumbent;
+    SeedOutcome outcome;
+    int runs = 0;
+    int iterations = 0;
+  };
+  std::vector<WorkerBest> best(static_cast<std::size_t>(workers));
 
-      // Backward placement run: UIDG in reversed order S*, starting from the
-      // forward run's final placement.
-      const ExecutionResult backward =
-          backward_sim_.run(forward.final_placement);
-      ++result.total_runs;
-      ++runs_this_seed;
-      ++result.total_iterations;
-      non_improving = update_best(result, backward, /*is_backward=*/true)
-                          ? 0
-                          : non_improving + 1;
+  ThreadPool pool(workers);
+  pool.parallel_for_each(
+      static_cast<std::size_t>(options_.seeds),
+      [&](std::size_t seed, int worker) {
+        TrialContext& ctx = contexts[static_cast<std::size_t>(worker)];
+        WorkerBest& local = best[static_cast<std::size_t>(worker)];
+        const ThreadCpuTimer watch;
+        SeedOutcome out = run_seed(seed_rngs[seed], ctx.arena);
+        local.runs += out.runs;
+        local.iterations += out.iterations;
+        if (local.incumbent.improved_by(out.best_latency, seed)) {
+          local.incumbent = {out.best_latency, seed};
+          local.outcome = std::move(out);
+        }
+        ctx.cpu_ms += watch.elapsed_ms();
+      });
 
-      // The backward run's final placement seeds the next iteration.
-      placement = backward.final_placement;
+  // Deterministic cross-worker merge: run counts are order-independent sums;
+  // the winner is the global (latency, seed index) minimum.
+  MvfbResult result;
+  WorkerBest* winner = nullptr;
+  for (WorkerBest& candidate : best) {
+    result.total_runs += candidate.runs;
+    result.total_iterations += candidate.iterations;
+    if (winner == nullptr ||
+        winner->incumbent.improved_by(candidate.incumbent.latency,
+                                      candidate.incumbent.trial_index)) {
+      winner = &candidate;
     }
+  }
+  for (const TrialContext& ctx : contexts) result.trial_cpu_ms += ctx.cpu_ms;
+
+  require(winner != nullptr &&
+              winner->incumbent.latency < kInfiniteDuration,
+          "MVFB produced no execution");
+  result.best_latency = winner->incumbent.latency;
+  result.best_is_backward = winner->outcome.best_is_backward;
+  result.best_execution = std::move(winner->outcome.best_execution);
+  if (result.best_is_backward) {
+    // §IV.A: a winning backward computation is reported as its reverse — a
+    // forward execution starting from the backward run's *final* placement.
+    result.best_initial_placement = result.best_execution.final_placement;
+    result.best_trace = result.best_execution.trace.time_reversed();
+  } else {
+    result.best_initial_placement = result.best_execution.initial_placement;
+    result.best_trace = result.best_execution.trace;
   }
   return result;
 }

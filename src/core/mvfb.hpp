@@ -8,7 +8,10 @@
 // wants the qubits. Iterating forward and backward runs is a local search in
 // placement space; `m` random center placements multi-start it, and each
 // seed's search stops after `stop_after` consecutive placement runs that fail
-// to improve the best latency seen so far.
+// to improve the best latency *that seed* has found (seeds are independent
+// local searches, which is what makes them trial-parallel: the winner is the
+// seed with the lowest latency, ties broken by seed index, so the result is
+// bit-identical at any worker count).
 //
 // One "placement run" is a single forward or backward execution; one
 // "iteration" is a forward+backward pair. The paper's Table 1 budgets the
@@ -27,11 +30,15 @@ struct MvfbOptions {
   /// Number of random-center placement seeds (the paper's m).
   int seeds = 100;
   /// Stop a seed's local search after this many consecutive placement runs
-  /// without improving the best latency found so far.
+  /// without improving the best latency this seed has found.
   int stop_after = 3;
   /// Safety bound on runs per seed (far above what the stop rule reaches).
   int max_runs_per_seed = 64;
   std::uint64_t rng_seed = 1;
+  /// Worker threads evaluating seeds concurrently. Results are bit-identical
+  /// at any value: per-seed RNGs are forked up front by seed index and the
+  /// winner is the (latency, seed index) minimum.
+  int jobs = 1;
 };
 
 struct MvfbResult {
@@ -50,6 +57,8 @@ struct MvfbResult {
   int total_runs = 0;
   /// Completed forward+backward pairs.
   int total_iterations = 0;
+  /// Thread-CPU time spent inside seed evaluations, summed over workers.
+  double trial_cpu_ms = 0.0;
 };
 
 class MvfbPlacer {
@@ -59,13 +68,23 @@ class MvfbPlacer {
              const RoutingGraph& routing_graph, std::vector<int> rank,
              ExecutionOptions exec_options, MvfbOptions options);
 
-  /// Runs the full multi-start search. Deterministic for a fixed rng_seed.
+  /// Runs the full multi-start search, evaluating seeds on `options.jobs`
+  /// workers. Deterministic for a fixed rng_seed at any job count.
   MvfbResult place_and_execute();
 
  private:
-  /// Updates the incumbent; returns true when the execution improved it.
-  bool update_best(MvfbResult& result, const ExecutionResult& execution,
-                   bool is_backward) const;
+  /// Outcome of one seed's forward/backward local search.
+  struct SeedOutcome {
+    Duration best_latency = kInfiniteDuration;
+    bool best_is_backward = false;
+    ExecutionResult best_execution;
+    int runs = 0;
+    int iterations = 0;
+  };
+
+  /// Runs one seed's local search; thread-confined to `arena` and the
+  /// value-owned `seed_rng`, so seeds may execute concurrently.
+  SeedOutcome run_seed(Rng seed_rng, SearchArena<Duration>& arena) const;
 
   const DependencyGraph* qidg_;
   DependencyGraph uidg_;

@@ -230,6 +230,15 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
                                        const TechnologyParams& params,
                                        const std::vector<NetRequest>& nets,
                                        const PathFinderOptions& options) {
+  PathFinderScratch scratch;
+  return route_nets_negotiated(graph, params, nets, options, scratch);
+}
+
+PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
+                                       const TechnologyParams& params,
+                                       const std::vector<NetRequest>& nets,
+                                       const PathFinderOptions& options,
+                                       PathFinderScratch& scratch) {
   params.validate();
   require(options.max_iterations >= 1, "need at least one iteration");
 
@@ -239,13 +248,16 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
   result.paths.resize(nets.size());
 
   const bool optimized = options.engine == PathFinderEngine::AStarArena;
-  // Arena state shared across all nets and all negotiation iterations.
-  SearchArena<double> arena;
-  StampedSet membership;
-  std::vector<RouteNodeId> node_buffer;
+  // Arena state shared across all nets and all negotiation iterations (and,
+  // via the caller-owned scratch, across successive batches on this thread).
+  SearchArena<double>& arena = scratch.arena;
+  StampedSet& membership = scratch.membership;
+  std::vector<RouteNodeId>& node_buffer = scratch.node_buffer;
   // Per-net occupancy sets (dense resource indices): computed once per
   // reroute, reused for the rip-up decrement of the following iteration.
-  std::vector<std::vector<std::uint32_t>> net_resources(nets.size());
+  std::vector<std::vector<std::uint32_t>>& net_resources =
+      scratch.net_resources;
+  net_resources.assign(nets.size(), {});
 
   double present_factor = options.present_factor;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {

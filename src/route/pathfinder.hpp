@@ -20,6 +20,7 @@
 #include "common/time.hpp"
 #include "route/path.hpp"
 #include "route/routing_graph.hpp"
+#include "route/search_arena.hpp"
 
 namespace qspr {
 
@@ -58,6 +59,17 @@ struct PathFinderResult {
   int overused_resources = 0;     // at the final iteration
 };
 
+/// Thread-confined scratch state of one negotiation run: the search arena,
+/// the path-resource dedup set, and the per-net occupancy buffers. Owning it
+/// outside the call lets a worker reuse the allocations across many batches
+/// (one scratch per thread; never share one between concurrent calls).
+struct PathFinderScratch {
+  SearchArena<double> arena;
+  StampedSet membership;
+  std::vector<RouteNodeId> node_buffer;
+  std::vector<std::vector<std::uint32_t>> net_resources;
+};
+
 /// Routes all nets with negotiated congestion. Nets with from == to receive
 /// empty paths. Throws RoutingError when some net has no route at all
 /// (disconnected fabric).
@@ -65,5 +77,12 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
                                        const TechnologyParams& params,
                                        const std::vector<NetRequest>& nets,
                                        const PathFinderOptions& options = {});
+
+/// As above, reusing the caller's scratch buffers across calls.
+PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
+                                       const TechnologyParams& params,
+                                       const std::vector<NetRequest>& nets,
+                                       const PathFinderOptions& options,
+                                       PathFinderScratch& scratch);
 
 }  // namespace qspr

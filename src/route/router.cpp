@@ -13,42 +13,41 @@ Router::Router(const RoutingGraph& graph, const TechnologyParams& params,
   params_.validate();
 }
 
-std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
+std::optional<Router::NodePath> Router::shortest_node_path(
     RouteNodeId from, RouteNodeId to, const CongestionState& congestion,
-    TrapId allowed_trap) {
+    SearchArena<Duration>& arena, TrapId allowed_trap) const {
   require(from.is_valid() && to.is_valid(), "invalid route endpoints");
   if (from == to) {
-    last_cost_ = 0;
-    return std::vector<RouteNodeId>{from};
+    return NodePath{{from}, 0};
   }
 
   const Position target_cell = graph_->node(to).cell;
   const TrapId target_trap = graph_->node(to).trap;
   const Duration turn_cost = options_.turn_aware ? params_.t_turn : 0;
 
-  arena_.begin(graph_->node_count());
-  arena_.relax(from, 0, RouteNodeId::invalid());
-  arena_.heap_push(
+  arena.begin(graph_->node_count());
+  arena.relax(from, 0, RouteNodeId::invalid());
+  arena.heap_push(
       grid_lower_bound(graph_->node(from), target_cell, params_.t_move,
                        turn_cost),
       0, from);
 
-  while (!arena_.heap_empty()) {
-    const auto entry = arena_.heap_pop();
-    if (arena_.settled(entry.node) || entry.g != arena_.dist(entry.node)) {
+  while (!arena.heap_empty()) {
+    const auto entry = arena.heap_pop();
+    if (arena.settled(entry.node) || entry.g != arena.dist(entry.node)) {
       continue;
     }
-    arena_.settle(entry.node);
+    arena.settle(entry.node);
 
     if (entry.node == to) {
-      last_cost_ = entry.g;
-      std::vector<RouteNodeId> path;
-      for (RouteNodeId n = to; n.is_valid(); n = arena_.parent(n)) {
-        path.push_back(n);
+      NodePath result;
+      result.cost = entry.g;
+      for (RouteNodeId n = to; n.is_valid(); n = arena.parent(n)) {
+        result.nodes.push_back(n);
         if (n == from) break;
       }
-      std::reverse(path.begin(), path.end());
-      return path;
+      std::reverse(result.nodes.begin(), result.nodes.end());
+      return result;
     }
 
     for (const RouteEdge& edge : graph_->edges(entry.node)) {
@@ -77,9 +76,9 @@ std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
       }
 
       const Duration candidate = entry.g + weight;
-      if (candidate < arena_.dist(edge.to)) {
-        arena_.relax(edge.to, candidate, entry.node);
-        arena_.heap_push(
+      if (candidate < arena.dist(edge.to)) {
+        arena.relax(edge.to, candidate, entry.node);
+        arena.heap_push(
             candidate + grid_lower_bound(v, target_cell, params_.t_move,
                                          turn_cost),
             candidate, edge.to);
@@ -90,12 +89,15 @@ std::optional<std::vector<RouteNodeId>> Router::shortest_node_path(
 }
 
 std::optional<RoutedPath> Router::route_trap_to_trap(
-    TrapId from, TrapId to, const CongestionState& congestion) {
+    TrapId from, TrapId to, const CongestionState& congestion,
+    SearchArena<Duration>& arena, Duration* selection_cost) const {
   const RouteNodeId source = graph_->trap_node(from);
   const RouteNodeId target = graph_->trap_node(to);
-  auto nodes = shortest_node_path(source, target, congestion, from);
-  if (!nodes.has_value()) return std::nullopt;
-  return lower_path(*graph_, *nodes, params_);
+  const auto found = shortest_node_path(source, target, congestion, arena,
+                                        from);
+  if (!found.has_value()) return std::nullopt;
+  if (selection_cost != nullptr) *selection_cost = found->cost;
+  return lower_path(*graph_, found->nodes, params_);
 }
 
 }  // namespace qspr

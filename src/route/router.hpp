@@ -13,6 +13,11 @@
 // paper's Eq. 2 per-channel weight (n+1)*length. Turn-unaware mode reproduces
 // the prior-art cost model of Fig. 5.b: turns are free during *selection* but
 // still cost t_turn when the chosen path is executed.
+//
+// A Router is an immutable view over the graph and physics parameters: every
+// query threads the caller's SearchArena through, so one Router can serve
+// any number of threads as long as each passes its own arena (the
+// thread-confined scratch of the trial-parallel mapping pipeline).
 #pragma once
 
 #include <optional>
@@ -36,21 +41,28 @@ class Router {
   Router(const RoutingGraph& graph, const TechnologyParams& params,
          RouterOptions options = {});
 
+  /// Vertex sequence plus the cost the search minimized (the *selection*
+  /// cost, which in turn-unaware mode differs from the physical delay).
+  struct NodePath {
+    std::vector<RouteNodeId> nodes;
+    Duration cost = 0;
+  };
+
   /// Minimum-cost path between two traps under the given congestion. Returns
   /// nullopt when every route is blocked by fully-loaded resources. A path
-  /// from a trap to itself is empty. Not thread-safe (reusable workspace).
+  /// from a trap to itself is empty. `arena` is the caller's reusable search
+  /// workspace (one per thread); when `selection_cost` is non-null it
+  /// receives the minimized cost of the returned path.
   [[nodiscard]] std::optional<RoutedPath> route_trap_to_trap(
-      TrapId from, TrapId to, const CongestionState& congestion);
+      TrapId from, TrapId to, const CongestionState& congestion,
+      SearchArena<Duration>& arena, Duration* selection_cost = nullptr) const;
 
   /// Generic vertex-to-vertex search. Intermediate trap vertices are never
   /// traversed; `allowed_trap` additionally admits one trap as an endpoint.
-  [[nodiscard]] std::optional<std::vector<RouteNodeId>> shortest_node_path(
+  [[nodiscard]] std::optional<NodePath> shortest_node_path(
       RouteNodeId from, RouteNodeId to, const CongestionState& congestion,
-      TrapId allowed_trap = TrapId::invalid());
-
-  /// Cost of the last path found by shortest_node_path (selection cost, which
-  /// in turn-unaware mode differs from the physical delay).
-  [[nodiscard]] Duration last_path_cost() const { return last_cost_; }
+      SearchArena<Duration>& arena,
+      TrapId allowed_trap = TrapId::invalid()) const;
 
   [[nodiscard]] const RouterOptions& options() const { return options_; }
   [[nodiscard]] const TechnologyParams& params() const { return params_; }
@@ -60,11 +72,6 @@ class Router {
   const RoutingGraph* graph_;
   TechnologyParams params_;
   RouterOptions options_;
-  Duration last_cost_ = 0;
-
-  // Reusable search workspace (distances, parents, heap buffer); reset in
-  // O(1) per query via generation stamping.
-  SearchArena<Duration> arena_;
 };
 
 }  // namespace qspr

@@ -122,7 +122,8 @@ bool EventSimulator::issue_one_qubit(RunState& state, InstructionId id,
   // co-resident qubit must first relocate to the nearest empty trap.
   const auto target = find_empty_trap(state, qubit_position(state, qubit));
   if (!target.has_value()) return false;
-  auto path = router_.route_trap_to_trap(trap, *target, state.congestion);
+  auto path =
+      router_.route_trap_to_trap(trap, *target, state.congestion, *state.arena);
   if (!path.has_value()) return false;
 
   state.timings[id.index()].issue = now;
@@ -194,7 +195,8 @@ bool EventSimulator::try_dispatch_operand(RunState& state, InstructionId id,
                                           QubitId qubit, TimePoint now) const {
   const TrapId target = state.timings[id.index()].trap;
   auto path = router_.route_trap_to_trap(state.qubit_trap[qubit.index()],
-                                         target, state.congestion);
+                                         target, state.congestion,
+                                         *state.arena);
   if (!path.has_value()) return false;
   for (const ResourceUse& use : path->resource_uses) {
     state.congestion.acquire(use.resource);
@@ -343,7 +345,8 @@ bool EventSimulator::initiate_return(RunState& state, InstructionId id,
     target = *fallback;
   }
 
-  auto path = router_.route_trap_to_trap(origin, target, state.congestion);
+  auto path = router_.route_trap_to_trap(origin, target, state.congestion,
+                                         *state.arena);
   if (!path.has_value()) return false;
 
   state.trap_reserved_by[target.index()] = id;
@@ -430,8 +433,14 @@ Position EventSimulator::qubit_position(const RunState& state,
   return fabric_->trap(trap).position;
 }
 
-ExecutionResult EventSimulator::run(const Placement& initial) {
-  RunState state(fabric_->segment_count(), fabric_->junction_count());
+ExecutionResult EventSimulator::run(const Placement& initial) const {
+  SearchArena<Duration> arena;
+  return run(initial, arena);
+}
+
+ExecutionResult EventSimulator::run(const Placement& initial,
+                                    SearchArena<Duration>& arena) const {
+  RunState state(fabric_->segment_count(), fabric_->junction_count(), arena);
   initialise(state, initial);
   try_issue(state, 0);
 

@@ -104,9 +104,15 @@ class EventSimulator {
 
   /// Executes from `initial` placement. Throws SimulationError when the
   /// execution stalls (e.g. the fabric cannot host the circuit) and
-  /// ValidationError on inconsistent inputs. Reentrant: each call is an
-  /// independent run.
-  ExecutionResult run(const Placement& initial);
+  /// ValidationError on inconsistent inputs. Each call is an independent run
+  /// over thread-confined state: one simulator may serve concurrent callers
+  /// as long as each passes its own `arena` (the reusable router search
+  /// workspace, typically owned by the worker's TrialContext).
+  ExecutionResult run(const Placement& initial,
+                      SearchArena<Duration>& arena) const;
+
+  /// Convenience overload with a one-shot arena.
+  ExecutionResult run(const Placement& initial) const;
 
  private:
   struct Event {
@@ -154,9 +160,12 @@ class EventSimulator {
     std::vector<int> pending_returns;   // per instruction
     std::vector<bool> gate_done;        // per instruction (gate op finished)
     std::vector<std::pair<InstructionId, QubitId>> deferred_returns;
+    // Caller-supplied router search workspace, confined to this run.
+    SearchArena<Duration>* arena = nullptr;
 
-    RunState(std::size_t segments, std::size_t junctions)
-        : congestion(segments, junctions) {}
+    RunState(std::size_t segments, std::size_t junctions,
+             SearchArena<Duration>& search_arena)
+        : congestion(segments, junctions), arena(&search_arena) {}
   };
 
   void initialise(RunState& state, const Placement& initial) const;
@@ -205,7 +214,7 @@ class EventSimulator {
   const Fabric* fabric_;
   std::vector<int> rank_;
   ExecutionOptions options_;
-  mutable Router router_;
+  Router router_;
 };
 
 /// One-shot convenience wrapper.

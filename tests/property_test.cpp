@@ -283,10 +283,11 @@ TEST_P(RouterOptimality, MatchesBellmanFordCost) {
       fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
   const TrapId to = fabric.traps()[rng.uniform_index(fabric.trap_count())].id;
   Router router(graph, params);
+  SearchArena<Duration> arena;
   const auto path = router.shortest_node_path(
-      graph.trap_node(from), graph.trap_node(to), congestion, from);
+      graph.trap_node(from), graph.trap_node(to), congestion, arena, from);
   ASSERT_TRUE(path.has_value());
-  const Duration astar_cost = router.last_path_cost();
+  const Duration astar_cost = path->cost;
 
   // Reference: Bellman-Ford over the same weighting.
   const auto edge_weight = [&](RouteNodeId to_node,

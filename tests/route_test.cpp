@@ -36,6 +36,7 @@ class RouteTest : public ::testing::Test {
   RoutingGraph graph_;
   CongestionState congestion_;
   TechnologyParams params_;
+  SearchArena<Duration> arena_;
 };
 
 TEST_F(RouteTest, GraphNodesFollowConnectivity) {
@@ -80,7 +81,7 @@ TEST_F(RouteTest, AdjacentTrapToTrapDelay) {
   // turn, in through the north port: 4 moves + 2 turns = 4 + 20 = 24 us.
   Router router(graph_, params_);
   const auto path = router.route_trap_to_trap(trap_at(1, 1), trap_at(1, 3),
-                                              congestion_);
+                                              congestion_, arena_);
   ASSERT_TRUE(path.has_value());
   EXPECT_EQ(path->total_delay(), 24);
   EXPECT_EQ(path->move_count(), 4);
@@ -90,7 +91,7 @@ TEST_F(RouteTest, AdjacentTrapToTrapDelay) {
 TEST_F(RouteTest, SameTrapIsEmptyPath) {
   Router router(graph_, params_);
   const auto path = router.route_trap_to_trap(trap_at(1, 1), trap_at(1, 1),
-                                              congestion_);
+                                              congestion_, arena_);
   ASSERT_TRUE(path.has_value());
   EXPECT_TRUE(path->empty());
   EXPECT_EQ(path->total_delay(), 0);
@@ -99,7 +100,7 @@ TEST_F(RouteTest, SameTrapIsEmptyPath) {
 TEST_F(RouteTest, PathStepsAreContinuous) {
   Router router(graph_, params_);
   const auto path = router.route_trap_to_trap(trap_at(1, 1), trap_at(3, 3),
-                                              congestion_);
+                                              congestion_, arena_);
   ASSERT_TRUE(path.has_value());
   Position position = fabric_.trap(trap_at(1, 1)).position;
   for (const PathStep& step : path->steps) {
@@ -117,7 +118,7 @@ TEST_F(RouteTest, PathStepsAreContinuous) {
 TEST_F(RouteTest, ResourceUsesCoverTheRoute) {
   Router router(graph_, params_);
   const auto path = router.route_trap_to_trap(trap_at(1, 1), trap_at(1, 3),
-                                              congestion_);
+                                              congestion_, arena_);
   ASSERT_TRUE(path.has_value());
   // The whole route lives in the single top channel segment.
   ASSERT_EQ(path->resource_uses.size(), 1u);
@@ -138,7 +139,7 @@ TEST_F(RouteTest, CongestionWeightsSteerAroundLoadedChannels) {
   // and the router detours via the left column, bottom row and right column.
   congestion_.acquire(ResourceRef::segment(fabric_.segment_at({0, 2})));
   const auto detour = strict_router.route_trap_to_trap(
-      trap_at(1, 1), trap_at(1, 3), congestion_);
+      trap_at(1, 1), trap_at(1, 3), congestion_, arena_);
   ASSERT_TRUE(detour.has_value());
   EXPECT_EQ(detour->total_delay(), 52);  // 12 moves + 4 turns
   EXPECT_EQ(detour->move_count(), 12);
@@ -146,7 +147,7 @@ TEST_F(RouteTest, CongestionWeightsSteerAroundLoadedChannels) {
 
   // With capacity 2 the loaded channel is pricier but still usable.
   const auto direct = router.route_trap_to_trap(trap_at(1, 1), trap_at(1, 3),
-                                                congestion_);
+                                                congestion_, arena_);
   ASSERT_TRUE(direct.has_value());
   EXPECT_EQ(direct->total_delay(), 24);
 }
@@ -161,7 +162,7 @@ TEST_F(RouteTest, FullyBlockedRouteReturnsNullopt) {
   congestion_.acquire(ResourceRef::junction(fabric_.junction_at({4, 0})));
   congestion_.acquire(ResourceRef::junction(fabric_.junction_at({4, 4})));
   const auto path = router.route_trap_to_trap(trap_at(1, 1), trap_at(1, 3),
-                                              congestion_);
+                                              congestion_, arena_);
   EXPECT_FALSE(path.has_value());
 }
 
@@ -169,25 +170,26 @@ TEST_F(RouteTest, TurnUnawareSelectionIgnoresTurnCosts) {
   Router aware(graph_, params_, RouterOptions{true});
   Router naive(graph_, params_, RouterOptions{false});
 
-  const auto aware_path = aware.route_trap_to_trap(trap_at(1, 1),
-                                                   trap_at(3, 3), congestion_);
-  const auto naive_path = naive.route_trap_to_trap(trap_at(1, 1),
-                                                   trap_at(3, 3), congestion_);
+  Duration naive_cost = 0;
+  const auto aware_path = aware.route_trap_to_trap(
+      trap_at(1, 1), trap_at(3, 3), congestion_, arena_);
+  const auto naive_path = naive.route_trap_to_trap(
+      trap_at(1, 1), trap_at(3, 3), congestion_, arena_, &naive_cost);
   ASSERT_TRUE(aware_path.has_value());
   ASSERT_TRUE(naive_path.has_value());
   // The turn-aware router minimises physical delay, so it can only be better.
   EXPECT_LE(aware_path->total_delay(), naive_path->total_delay());
   // The naive selection cost counts no turn delay at all.
-  EXPECT_EQ(naive.last_path_cost(),
+  EXPECT_EQ(naive_cost,
             static_cast<Duration>(naive_path->move_count()) * params_.t_move);
 }
 
 TEST_F(RouteTest, DeterministicAcrossCalls) {
   Router router(graph_, params_);
   const auto a = router.route_trap_to_trap(trap_at(1, 1), trap_at(3, 3),
-                                           congestion_);
+                                           congestion_, arena_);
   const auto b = router.route_trap_to_trap(trap_at(1, 1), trap_at(3, 3),
-                                           congestion_);
+                                           congestion_, arena_);
   ASSERT_TRUE(a.has_value() && b.has_value());
   EXPECT_EQ(a->nodes, b->nodes);
 }
@@ -214,10 +216,11 @@ TEST(RoutingGraphLarge, PaperFabricIsFullyConnected) {
   const RoutingGraph graph(fabric);
   CongestionState congestion(fabric.segment_count(), fabric.junction_count());
   Router router(graph, TechnologyParams{});
+  SearchArena<Duration> arena;
   // Far corners of the fabric are mutually reachable.
   const TrapId first = fabric.traps().front().id;
   const TrapId last = fabric.traps().back().id;
-  const auto path = router.route_trap_to_trap(first, last, congestion);
+  const auto path = router.route_trap_to_trap(first, last, congestion, arena);
   ASSERT_TRUE(path.has_value());
   EXPECT_GT(path->move_count(), 50);
   // Physical delay is bounded below by the Manhattan distance.

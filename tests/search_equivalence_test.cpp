@@ -116,27 +116,51 @@ TEST(SearchDeterminismTest, RepeatedRunsProduceIdenticalPaths) {
   EXPECT_EQ(first.iterations, second.iterations);
 }
 
+TEST(SearchDeterminismTest, PathFinderScratchReuseDoesNotPerturbResults) {
+  // One PathFinderScratch reused across batches (the per-worker ownership
+  // pattern) must negotiate exactly like a fresh scratch per batch.
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  PathFinderScratch shared;
+  for (const std::uint64_t seed : {2u, 9u, 31u}) {
+    const auto nets = random_nets(fabric, 8, seed);
+    const PathFinderResult reused =
+        route_nets_negotiated(graph, params, nets, {}, shared);
+    const PathFinderResult fresh = route_nets_negotiated(graph, params, nets);
+    ASSERT_EQ(reused.paths.size(), fresh.paths.size());
+    for (std::size_t i = 0; i < reused.paths.size(); ++i) {
+      EXPECT_EQ(reused.paths[i].nodes, fresh.paths[i].nodes) << "net " << i;
+    }
+    EXPECT_EQ(reused.total_delay, fresh.total_delay);
+    EXPECT_EQ(reused.iterations, fresh.iterations);
+  }
+}
+
 TEST(SearchDeterminismTest, RouterArenaReuseDoesNotPerturbResults) {
-  // A shared Router (one arena across queries) must answer exactly like a
-  // fresh Router per query.
+  // An arena reused across queries (the per-worker TrialContext pattern)
+  // must answer exactly like a fresh arena per query.
   const Fabric fabric = make_quale_fabric({3, 3, 4});
   const RoutingGraph graph(fabric);
   const TechnologyParams params;
   CongestionState congestion(fabric.segment_count(), fabric.junction_count());
-  Router shared(graph, params);
+  const Router router(graph, params);
+  SearchArena<Duration> shared_arena;
 
   const auto traps = fabric.traps_by_distance(fabric.center());
   for (std::size_t i = 0; i + 1 < std::min<std::size_t>(traps.size(), 12);
        ++i) {
-    Router fresh(graph, params);
-    const auto a = shared.route_trap_to_trap(traps[i], traps[i + 1],
-                                             congestion);
-    const auto b = fresh.route_trap_to_trap(traps[i], traps[i + 1],
-                                            congestion);
+    SearchArena<Duration> fresh_arena;
+    Duration shared_cost = 0;
+    Duration fresh_cost = 0;
+    const auto a = router.route_trap_to_trap(
+        traps[i], traps[i + 1], congestion, shared_arena, &shared_cost);
+    const auto b = router.route_trap_to_trap(
+        traps[i], traps[i + 1], congestion, fresh_arena, &fresh_cost);
     ASSERT_TRUE(a.has_value());
     ASSERT_TRUE(b.has_value());
     EXPECT_EQ(a->nodes, b->nodes);
-    EXPECT_EQ(shared.last_path_cost(), fresh.last_path_cost());
+    EXPECT_EQ(shared_cost, fresh_cost);
   }
 }
 
