@@ -55,7 +55,7 @@ int main() {
 
     table.add_row({std::to_string(net_count),
                    std::to_string(negotiated.total_delay),
-                   std::to_string(negotiated.iterations),
+                   std::to_string(negotiated.iterations_used),
                    negotiated.converged ? "yes" : "no",
                    std::to_string(greedy_delay), std::to_string(blocked)});
   }

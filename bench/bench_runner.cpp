@@ -1,21 +1,31 @@
-// Routing-core benchmark harness: runs the micro-router, PathFinder and
-// scaling benches and emits a machine-readable BENCH_routing.json so every
-// perf PR leaves a recorded trajectory.
+// Routing-core benchmark harness: runs the micro-router, PathFinder,
+// saturated-overload ablation and scaling benches and emits a
+// machine-readable BENCH_routing.json so every perf PR leaves a recorded
+// trajectory.
 //
-//   bench_runner [--smoke] [--output PATH] [--jobs N]
+//   bench_runner [--smoke] [--output PATH] [--jobs N] [--baseline PATH]
 //
-// --smoke shrinks repetition counts to a few iterations (CI bitrot guard);
+// --smoke shrinks repetition counts to a few iterations (CI bitrot guard)
+// and, when a baseline BENCH_routing.json is readable, gates the pathfinder_*
+// per-query numbers against it (>2x regression fails the run; set
+// QSPR_SMOKE_NO_PERF_GATE=1 on slow runners to skip the gate);
 // --output defaults to BENCH_routing.json in the working directory;
+// --baseline defaults to the checked-in BENCH_routing.json (repo root);
 // --jobs caps the worker counts exercised by the parallel-scaling suite
 // (default 8; the suite always starts from 1 worker).
 //
-// Reported per bench: ns/query (a query is one inner shortest-path search),
-// negotiation iterations-to-converge, and total routed delay. The PathFinder
-// benches run both engines — the reference allocating Dijkstra and the
-// arena-backed A* — so the speedup of the optimized core is measured against
-// a live baseline, not a number frozen in a doc.
+// Reported per bench: ns/query (one nominal inner search: nets x iterations),
+// ns/rep (one whole negotiation — the number that multiplies through the
+// trial pipeline), searches actually performed (partial rip-up skips clean
+// nets), negotiation iterations, convergence and residual over-use. The
+// PathFinder suites run the optimized stack against the PR-1 baseline
+// configuration (reference Dijkstra engine, full rip-up, classic schedule),
+// so speedups are measured against live pre-optimization behaviour — never
+// against a number frozen in a doc.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,14 +41,34 @@ namespace {
 struct PathFinderSample {
   std::string name;
   std::string engine;
+  std::string config;  // mechanism set: baseline | none | partial | ... | all
   int nets = 0;
   int repetitions = 0;
   double ns_per_query = 0.0;
+  double ns_per_rep = 0.0;
   long long queries = 0;
-  int iterations = 0;
+  long long searches = 0;
+  int iterations_used = 0;
   bool converged = false;
+  int max_overuse = 0;
+  int total_excess = 0;
+  int min_feasible_excess = 0;
   Duration total_delay = 0;
+  PathFinderOptions options;
 };
+
+/// The PR-1 negotiation loop: reference Dijkstra engine, full rip-up every
+/// iteration, uncapped schedule — the live baseline every suite compares
+/// against.
+PathFinderOptions baseline_options() {
+  PathFinderOptions options;
+  options.engine = PathFinderEngine::ReferenceDijkstra;
+  options.partial_ripup = false;
+  options.adaptive_bound = false;
+  options.adaptive_schedule = false;
+  options.bidirectional = false;
+  return options;
+}
 
 std::vector<NetRequest> central_nets(const Fabric& fabric, int count,
                                      std::uint64_t seed) {
@@ -55,38 +85,75 @@ std::vector<NetRequest> central_nets(const Fabric& fabric, int count,
   return nets;
 }
 
+/// Saturated-but-structurally-feasible load: pair up a shuffled pool of
+/// distinct central traps, so no endpoint is shared (structural floor 0) and
+/// residual over-use is genuinely negotiable contention, not port demand no
+/// router can remove.
+std::vector<NetRequest> distinct_nets(const Fabric& fabric, int count,
+                                      std::uint64_t seed) {
+  const auto central = fabric.traps_by_distance(fabric.center());
+  const std::size_t pool =
+      std::min<std::size_t>(central.size(),
+                            std::max<std::size_t>(128, 2 * count));
+  if (pool < 2 * static_cast<std::size_t>(count)) {
+    std::cerr << "distinct_nets: fabric has only " << central.size()
+              << " traps, cannot draw " << count << " disjoint pairs\n";
+    std::exit(2);
+  }
+  Rng rng(seed);
+  std::vector<TrapId> traps(central.begin(), central.begin() + pool);
+  for (std::size_t i = traps.size(); i > 1; --i) {
+    std::swap(traps[i - 1], traps[rng.uniform_index(i)]);
+  }
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < count; ++i) {
+    nets.push_back({traps[2 * i], traps[2 * i + 1]});
+  }
+  return nets;
+}
+
 PathFinderSample run_pathfinder(const std::string& name,
+                                const std::string& config,
                                 const RoutingGraph& graph,
                                 const TechnologyParams& params,
                                 const std::vector<NetRequest>& nets,
-                                PathFinderEngine engine, int repetitions) {
-  PathFinderOptions options;
-  options.engine = engine;
-
+                                const PathFinderOptions& options,
+                                int repetitions) {
   PathFinderSample sample;
   sample.name = name;
-  sample.engine = engine == PathFinderEngine::AStarArena ? "astar_arena"
-                                                         : "reference_dijkstra";
+  sample.config = config;
+  sample.engine = options.engine == PathFinderEngine::AStarArena
+                      ? "astar_arena"
+                      : "reference_dijkstra";
   sample.nets = static_cast<int>(nets.size());
   sample.repetitions = repetitions;
+  sample.options = options;
 
   PathFinderResult result;
-  // One scratch reused across repetitions — the per-worker ownership pattern
-  // of the trial-parallel pipeline, and it keeps allocations out of the
-  // timed loop.
-  PathFinderScratch scratch;
-  const double ns_per_rep = qspr_bench::time_ns_per_rep(repetitions, [&] {
+  // One scratch reused across repetitions and samples — the per-worker
+  // ownership pattern of the trial-parallel pipeline. Besides keeping
+  // allocations out of the timed loop, reusing one long-lived arena makes
+  // samples comparable: fresh per-sample allocations can land on unlucky
+  // cache-aliasing addresses and skew an arena-based sample by tens of
+  // percent depending on what the earlier suites left on the heap.
+  static PathFinderScratch scratch;
+  sample.ns_per_rep = qspr_bench::time_ns_per_rep(repetitions, [&] {
     result = route_nets_negotiated(graph, params, nets, options, scratch);
   });
-  // One "query" is one inner shortest-path search: every net is re-routed
-  // once per negotiation iteration.
+  // One nominal "query" is one net in one negotiation iteration; with
+  // partial rip-up the searches actually performed can be fewer (recorded
+  // separately as `searches_per_rep`).
   const long long queries =
-      static_cast<long long>(nets.size()) * result.iterations;
+      static_cast<long long>(nets.size()) * result.iterations_used;
   sample.queries = queries;
-  sample.ns_per_query = queries > 0 ? ns_per_rep / static_cast<double>(queries)
-                                    : 0.0;
-  sample.iterations = result.iterations;
+  sample.ns_per_query =
+      queries > 0 ? sample.ns_per_rep / static_cast<double>(queries) : 0.0;
+  sample.searches = result.searches_performed;
+  sample.iterations_used = result.iterations_used;
   sample.converged = result.converged;
+  sample.max_overuse = result.max_overuse;
+  sample.total_excess = result.total_excess;
+  sample.min_feasible_excess = result.min_feasible_excess;
   sample.total_delay = result.total_delay;
   return sample;
 }
@@ -95,14 +162,46 @@ void write_sample(JsonWriter& json, const PathFinderSample& sample) {
   json.begin_object()
       .field("name", sample.name)
       .field("engine", sample.engine)
+      .field("config", sample.config)
       .field("nets", sample.nets)
       .field("repetitions", sample.repetitions)
       .field("queries_per_rep", sample.queries)
+      .field("searches_per_rep", sample.searches)
       .field("ns_per_query", sample.ns_per_query)
-      .field("iterations_to_converge", sample.iterations)
+      .field("ns_per_rep", sample.ns_per_rep)
+      .field("iterations_used", sample.iterations_used)
       .field("converged", sample.converged)
+      .field("max_overuse", sample.max_overuse)
+      .field("total_excess", sample.total_excess)
+      .field("min_feasible_excess", sample.min_feasible_excess)
+      .field("partial_ripup", sample.options.partial_ripup)
+      .field("adaptive_bound", sample.options.adaptive_bound)
+      .field("adaptive_schedule", sample.options.adaptive_schedule)
+      .field("bidirectional", sample.options.bidirectional)
       .field("total_delay_us", static_cast<long long>(sample.total_delay))
       .end_object();
+}
+
+std::string speedup_cell(double baseline_ns, double ns) {
+  return ns > 0.0 ? format_fixed(baseline_ns / ns, 2) + "x" : "n/a";
+}
+
+/// Minimal extractor for the perf gate: finds the `ns_per_query` of the
+/// sample with the given name and engine in a BENCH_routing.json produced by
+/// this harness (field order is fixed: name, engine, ... ns_per_query).
+/// Returns a negative value when the sample is absent.
+double baseline_ns_per_query(const std::string& baseline_text,
+                             const std::string& name,
+                             const std::string& engine) {
+  const std::string key =
+      "\"name\":\"" + name + "\",\"engine\":\"" + engine + "\"";
+  const std::size_t at = baseline_text.find(key);
+  if (at == std::string::npos) return -1.0;
+  const std::string field = "\"ns_per_query\":";
+  const std::size_t value_at = baseline_text.find(field, at);
+  if (value_at == std::string::npos) return -1.0;
+  return std::strtod(baseline_text.c_str() + value_at + field.size(),
+                     nullptr);
 }
 
 }  // namespace
@@ -110,6 +209,7 @@ void write_sample(JsonWriter& json, const PathFinderSample& sample) {
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string output = "BENCH_routing.json";
+  std::string baseline_path = "BENCH_routing.json";
   int max_jobs = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +217,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--output" && i + 1 < argc) {
       output = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       try {
         max_jobs = std::stoi(argv[++i]);
@@ -129,7 +231,7 @@ int main(int argc, char** argv) {
       }
     } else {
       std::cerr << "usage: bench_runner [--smoke] [--output PATH] "
-                   "[--jobs N]\n";
+                   "[--baseline PATH] [--jobs N]\n";
       return 2;
     }
   }
@@ -139,8 +241,12 @@ int main(int argc, char** argv) {
 
   JsonWriter json;
   json.begin_object();
-  json.field("schema", "qspr-bench-routing/v1");
+  json.field("schema", "qspr-bench-routing/v2");
   json.field("smoke", smoke);
+
+  // Gate bookkeeping: pathfinder_* samples of this run, checked against the
+  // baseline JSON at the end when --smoke.
+  std::vector<PathFinderSample> gated_samples;
 
   // ------------------------------------------------------- micro-router ---
   // Single-query A* latency on the paper fabric (45x85, Fig. 4), the
@@ -186,41 +292,48 @@ int main(int argc, char** argv) {
   }
 
   // --------------------------------------------------------- pathfinder ---
-  // Negotiated batch routing on the paper fabric, both engines per load
-  // level; the speedup column is the per-query ratio reference/optimized.
+  // Negotiated batch routing on the paper fabric: the full optimized stack
+  // (all mechanisms, default options) against the PR-1 baseline per load
+  // level. Two speedup columns: per nominal query (net x iteration) and per
+  // whole negotiation (the trial-pipeline number).
   {
     const Fabric fabric = make_paper_fabric();
     const RoutingGraph graph(fabric);
-    const int reps = smoke ? 1 : 25;
-    const std::vector<int> loads = smoke ? std::vector<int>{4}
+    const std::vector<int> loads = smoke ? std::vector<int>{8, 32}
                                          : std::vector<int>{8, 16, 32};
+    // Smoke runs feed the perf gate: light loads need more repetitions to
+    // climb out of timer noise, heavy ones are stable (and slow) at two.
+    const auto reps_for = [&](int load) {
+      return smoke ? (load <= 16 ? 30 : 2) : 25;
+    };
 
     TextTable table({"Nets", "Engine", "ns/query", "iters", "converged",
-                     "delay (us)", "speedup"});
+                     "delay (us)", "q speedup", "rep speedup"});
     std::vector<PathFinderSample> samples;
     for (const int load : loads) {
       const auto nets = central_nets(fabric, load, 11);
-      const PathFinderSample reference = run_pathfinder(
-          "pathfinder_" + std::to_string(load) + "nets", graph, params, nets,
-          PathFinderEngine::ReferenceDijkstra, reps);
+      const std::string name = "pathfinder_" + std::to_string(load) + "nets";
+      const int reps = reps_for(load);
+      const PathFinderSample reference =
+          run_pathfinder(name, "baseline", graph, params, nets,
+                         baseline_options(), reps);
       const PathFinderSample optimized = run_pathfinder(
-          "pathfinder_" + std::to_string(load) + "nets", graph, params, nets,
-          PathFinderEngine::AStarArena, reps);
-      const double speedup =
-          optimized.ns_per_query > 0.0
-              ? reference.ns_per_query / optimized.ns_per_query
-              : 0.0;
+          name, "all", graph, params, nets, PathFinderOptions{}, reps);
       table.add_row({std::to_string(load), reference.engine,
                      format_fixed(reference.ns_per_query, 0),
-                     std::to_string(reference.iterations),
+                     std::to_string(reference.iterations_used),
                      reference.converged ? "yes" : "no",
-                     std::to_string(reference.total_delay), "1.00x"});
+                     std::to_string(reference.total_delay), "1.00x",
+                     "1.00x"});
       table.add_row({std::to_string(load), optimized.engine,
                      format_fixed(optimized.ns_per_query, 0),
-                     std::to_string(optimized.iterations),
+                     std::to_string(optimized.iterations_used),
                      optimized.converged ? "yes" : "no",
                      std::to_string(optimized.total_delay),
-                     format_fixed(speedup, 2) + "x"});
+                     speedup_cell(reference.ns_per_query,
+                                  optimized.ns_per_query),
+                     speedup_cell(reference.ns_per_rep,
+                                  optimized.ns_per_rep)});
       samples.push_back(reference);
       samples.push_back(optimized);
     }
@@ -228,8 +341,71 @@ int main(int argc, char** argv) {
     json.key("pathfinder_runs").begin_array();
     for (const PathFinderSample& sample : samples) {
       write_sample(json, sample);
+      gated_samples.push_back(sample);
     }
     json.end_array();
+  }
+
+  // -------------------------------------------------- saturated overload ---
+  // Heavy contention with distinct endpoints (structural floor 0): the
+  // regime where the classic loop burns its iteration cap. Each mechanism
+  // of the optimized stack is toggled individually so the ablation lands in
+  // the JSON next to the baseline and the all-on stack.
+  {
+    const Fabric fabric = make_paper_fabric();
+    const RoutingGraph graph(fabric);
+    const int reps = smoke ? 1 : 5;
+    const std::vector<int> loads = smoke ? std::vector<int>{24}
+                                         : std::vector<int>{24, 32, 48};
+
+    struct Config {
+      const char* name;
+      PathFinderOptions options;
+    };
+    const auto astar_with = [](bool partial, bool bound, bool schedule,
+                               bool bidi) {
+      PathFinderOptions options;  // engine defaults to AStarArena
+      options.partial_ripup = partial;
+      options.adaptive_bound = bound;
+      options.adaptive_schedule = schedule;
+      options.bidirectional = bidi;
+      return options;
+    };
+    const std::vector<Config> configs = {
+        {"baseline", baseline_options()},
+        {"none", astar_with(false, false, false, false)},
+        {"partial", astar_with(true, false, false, false)},
+        {"bound", astar_with(false, true, false, false)},
+        {"schedule", astar_with(false, false, true, false)},
+        {"bidi", astar_with(false, false, false, true)},
+        {"all", PathFinderOptions{}},
+    };
+
+    TextTable table({"Nets", "Config", "ns/query", "iters", "searches",
+                     "conv", "excess", "delay (us)", "rep speedup"});
+    json.key("saturated_overload").begin_array();
+    for (const int load : loads) {
+      const auto nets = distinct_nets(fabric, load, 11);
+      const std::string name = "saturated_" + std::to_string(load) + "nets";
+      double baseline_rep_ns = 0.0;
+      for (const Config& config : configs) {
+        const PathFinderSample sample = run_pathfinder(
+            name, config.name, graph, params, nets, config.options, reps);
+        if (sample.config == "baseline") baseline_rep_ns = sample.ns_per_rep;
+        table.add_row({std::to_string(load), config.name,
+                       format_fixed(sample.ns_per_query, 0),
+                       std::to_string(sample.iterations_used),
+                       std::to_string(sample.searches),
+                       sample.converged ? "yes" : "no",
+                       std::to_string(sample.total_excess),
+                       std::to_string(sample.total_delay),
+                       speedup_cell(baseline_rep_ns, sample.ns_per_rep)});
+        write_sample(json, sample);
+      }
+    }
+    json.end_array();
+    std::cout << "\nsaturated overload (distinct endpoints, ablation):\n"
+              << table.to_string();
   }
 
   // ------------------------------------------------------------ scaling ---
@@ -250,12 +426,12 @@ int main(int argc, char** argv) {
       const RoutingGraph graph(fabric);
       const auto nets = central_nets(fabric, 16, 7);
       const PathFinderSample sample =
-          run_pathfinder(std::string("scaling_") + size.name, graph, params,
-                         nets, PathFinderEngine::AStarArena, reps);
+          run_pathfinder(std::string("scaling_") + size.name, "all", graph,
+                         params, nets, PathFinderOptions{}, reps);
       std::cout << "scaling/" << size.name << ": "
                 << format_fixed(sample.ns_per_query, 0) << " ns/query, "
-                << sample.iterations << " iters, delay " << sample.total_delay
-                << " us\n";
+                << sample.iterations_used << " iters, delay "
+                << sample.total_delay << " us\n";
       write_sample(json, sample);
     }
     json.end_array();
@@ -357,5 +533,57 @@ int main(int argc, char** argv) {
   }
   file << json.str() << "\n";
   std::cout << "\nwrote " << output << "\n";
+
+  // -------------------------------------------------- smoke perf gate ---
+  // Catch order-of-magnitude routing regressions in CI: every pathfinder_*
+  // sample of this smoke run must stay within 2x of the checked-in
+  // trajectory's ns_per_query. The factor absorbs smoke-sized repetition
+  // noise; genuinely slower runners can export QSPR_SMOKE_NO_PERF_GATE=1.
+  if (smoke) {
+    if (std::getenv("QSPR_SMOKE_NO_PERF_GATE") != nullptr) {
+      std::cout << "perf gate: skipped (QSPR_SMOKE_NO_PERF_GATE set)\n";
+      return 0;
+    }
+    std::ifstream baseline_file(baseline_path);
+    if (!baseline_file) {
+      std::cout << "perf gate: no baseline at " << baseline_path
+                << ", skipped\n";
+      return 0;
+    }
+    std::ostringstream baseline_stream;
+    baseline_stream << baseline_file.rdbuf();
+    const std::string baseline_text = baseline_stream.str();
+
+    bool failed = false;
+    int matched = 0;
+    for (const PathFinderSample& sample : gated_samples) {
+      const double recorded =
+          baseline_ns_per_query(baseline_text, sample.name, sample.engine);
+      if (recorded <= 0.0) continue;  // new suite, nothing to gate against
+      ++matched;
+      const double ratio = sample.ns_per_query / recorded;
+      const bool regressed = ratio > 2.0;
+      std::cout << "perf gate: " << sample.name << "/" << sample.engine
+                << " " << format_fixed(sample.ns_per_query, 0)
+                << " ns/query vs recorded " << format_fixed(recorded, 0)
+                << " (" << format_fixed(ratio, 2) << "x)"
+                << (regressed ? "  REGRESSION" : "") << "\n";
+      failed = failed || regressed;
+    }
+    if (failed) {
+      std::cerr << "perf gate: pathfinder regression above 2x against "
+                << baseline_path << "\n";
+      return 3;
+    }
+    if (matched == 0 && !gated_samples.empty()) {
+      // A baseline that matches no sample means the extractor and the
+      // recorded file disagree (pretty-printed JSON, renamed fields, ...):
+      // fail loudly instead of silently disarming the gate CI relies on.
+      std::cerr << "perf gate: baseline " << baseline_path
+                << " matched no pathfinder sample — re-record it with this "
+                   "harness\n";
+      return 3;
+    }
+  }
   return 0;
 }

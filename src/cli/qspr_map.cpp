@@ -40,7 +40,8 @@ int usage(const char* argv0) {
       << "  --trace-out <file> write the machine-readable trace (see "
          "qspr_replay)\n"
       << "  --report           print the full mapping report (timing table,\n"
-      << "                     utilisation, Gantt chart, fidelity estimate)\n"
+      << "                     utilisation, Gantt chart, fidelity estimate,\n"
+      << "                     PathFinder negotiation diagnostics)\n"
       << "  --dot              dump the QIDG in Graphviz DOT\n"
       << "  --qasm             dump the program QASM\n";
   return 2;
@@ -125,6 +126,7 @@ int main(int argc, char** argv) {
 
     if (!program.has_value()) return usage(argv[0]);
     if (!fabric.has_value()) fabric = make_paper_fabric();
+    options.negotiation_report = dump_report;
 
     if (dump_qasm) std::cout << write_qasm(*program);
     if (dump_dot) {

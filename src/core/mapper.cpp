@@ -1,13 +1,78 @@
 #include "core/mapper.hpp"
 
+#include <map>
+#include <utility>
+
 #include "common/error.hpp"
 #include "common/stopwatch.hpp"
 #include "core/monte_carlo.hpp"
 #include "core/mvfb.hpp"
 #include "core/placer.hpp"
+#include "route/pathfinder.hpp"
 #include "route/routing_graph.hpp"
 
 namespace qspr {
+
+namespace {
+
+/// Trap-to-trap relocations of a control trace: per (instruction, operand)
+/// the trap it departed and the trap it arrived in. Ops of one operand are
+/// chronological within the trace, so first move's `from` / last move's `to`
+/// bracket the relocation.
+std::vector<NetRequest> relocation_nets(const Trace& trace,
+                                        const Fabric& fabric) {
+  std::map<std::pair<std::int32_t, std::int32_t>,
+           std::pair<Position, Position>>
+      spans;
+  std::vector<std::pair<std::int32_t, std::int32_t>> order;
+  for (const MicroOp& op : trace.ops()) {
+    if (op.kind != MicroOpKind::Move) continue;
+    const auto key = std::make_pair(op.instruction.value(), op.qubit.value());
+    const auto [it, inserted] =
+        spans.try_emplace(key, std::make_pair(op.from, op.to));
+    if (inserted) {
+      order.push_back(key);
+    } else {
+      it->second.second = op.to;
+    }
+  }
+  std::vector<NetRequest> nets;
+  for (const auto& key : order) {
+    const auto& [begin, end] = spans.at(key);
+    const TrapId from = fabric.trap_at(begin);
+    const TrapId to = fabric.trap_at(end);
+    if (from.is_valid() && to.is_valid() && from != to) {
+      nets.push_back({from, to});
+    }
+  }
+  return nets;
+}
+
+NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
+                                            const TechnologyParams& tech,
+                                            const Trace& trace) {
+  NegotiationDiagnostics diagnostics;
+  const std::vector<NetRequest> nets =
+      relocation_nets(trace, routing_graph.fabric());
+  diagnostics.nets = static_cast<int>(nets.size());
+  if (nets.empty()) {
+    diagnostics.converged = true;
+    return diagnostics;
+  }
+  const PathFinderResult negotiated =
+      route_nets_negotiated(routing_graph, tech, nets);
+  diagnostics.iterations_used = negotiated.iterations_used;
+  diagnostics.converged = negotiated.converged;
+  diagnostics.overused_resources = negotiated.overused_resources;
+  diagnostics.max_overuse = negotiated.max_overuse;
+  diagnostics.total_excess = negotiated.total_excess;
+  diagnostics.min_feasible_excess = negotiated.min_feasible_excess;
+  diagnostics.searches_performed = negotiated.searches_performed;
+  diagnostics.total_delay = negotiated.total_delay;
+  return diagnostics;
+}
+
+}  // namespace
 
 std::string to_string(MapperKind kind) {
   switch (kind) {
@@ -151,7 +216,13 @@ MapResult map_program(const Program& program, const Fabric& fabric,
     result.placement_runs = mvfb.total_runs;
   }
 
+  // Stop the clock before the optional diagnostic: cpu_ms reports the
+  // mapping itself, and must not depend on whether a report was requested.
   result.cpu_ms = stopwatch.elapsed_ms();
+  if (options.negotiation_report && result.trace.size() > 0) {
+    result.negotiation =
+        diagnose_negotiation(routing_graph, exec.tech, result.trace);
+  }
   return result;
 }
 

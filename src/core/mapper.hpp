@@ -44,6 +44,11 @@ struct MapperOptions {
   /// value; must be >= 1.
   int jobs = 1;
 
+  /// Batch-route the winning trace's relocations with the negotiated
+  /// PathFinder and attach the convergence diagnostics to the result
+  /// (MapResult::negotiation; surfaced by qspr_map --report).
+  bool negotiation_report = false;
+
   // --- Ablation overrides (nullopt = the mapper's published behaviour) ---
   std::optional<bool> turn_aware;
   std::optional<bool> dual_move;
@@ -52,6 +57,26 @@ struct MapperOptions {
   std::optional<SchedulePolicy> schedule_policy;
   /// Extension (not in the paper): congestion-aware target trap selection.
   std::optional<TrapSelectionPolicy> trap_selection;
+};
+
+/// Congestion stress diagnostic of a mapped circuit: every trap-to-trap
+/// relocation the winning execution performed, batch-routed *simultaneously*
+/// by the negotiated PathFinder. A converging batch means the fabric could
+/// absorb the program's full relocation demand at once; a non-converging one
+/// reports how far over capacity the demand is (and how much of that excess
+/// is structural — endpoint port demand no router can remove).
+struct NegotiationDiagnostics {
+  int nets = 0;
+  int iterations_used = 0;
+  bool converged = false;
+  int overused_resources = 0;
+  int max_overuse = 0;
+  int total_excess = 0;
+  int min_feasible_excess = 0;
+  long long searches_performed = 0;
+  /// Total physical delay of the negotiated batch (not part of the mapped
+  /// latency; a whole-layer routing figure of merit).
+  Duration total_delay = 0;
 };
 
 struct MapResult {
@@ -78,6 +103,9 @@ struct MapResult {
   double trial_cpu_ms = 0.0;
   /// Worker threads the mapping ran with.
   int jobs = 1;
+  /// Present when MapperOptions::negotiation_report was set (and the flow
+  /// produced a trace to diagnose).
+  std::optional<NegotiationDiagnostics> negotiation;
 };
 
 /// Maps `program` onto `fabric`. Throws ValidationError / SimulationError on

@@ -31,6 +31,23 @@ std::string make_report(const MapResult& result, const Program& program,
      << result.placement_runs << " placement runs on " << result.jobs
      << " worker" << (result.jobs == 1 ? "" : "s") << ")\n";
 
+  if (result.negotiation.has_value()) {
+    const NegotiationDiagnostics& n = *result.negotiation;
+    os << "negotiated routing: " << n.nets
+       << " relocations batch-routed (PathFinder), ";
+    if (n.converged) {
+      os << "converged in " << n.iterations_used << " iteration"
+         << (n.iterations_used == 1 ? "" : "s");
+    } else {
+      os << "NOT converged after " << n.iterations_used << " iterations ("
+         << n.overused_resources << " resources over capacity, worst +"
+         << n.max_overuse << ", excess " << n.total_excess
+         << ", structural floor " << n.min_feasible_excess << ")";
+    }
+    os << "; " << n.searches_performed << " searches, batch delay "
+       << n.total_delay << " us\n";
+  }
+
   const DependencyGraph graph = DependencyGraph::build(program);
 
   if (options.include_timing_table && !result.timings.empty()) {

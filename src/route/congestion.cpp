@@ -1,10 +1,84 @@
 #include "route/congestion.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
 
 namespace qspr {
+
+CongestionLedger::CongestionLedger(std::size_t segment_count,
+                                   std::size_t junction_count,
+                                   int segment_capacity, int junction_capacity)
+    : occupancy_(segment_count + junction_count, 0),
+      history_(segment_count + junction_count, 0.0),
+      overused_pos_(segment_count + junction_count, -1),
+      segment_count_(segment_count),
+      segment_capacity_(segment_capacity),
+      junction_capacity_(junction_capacity) {
+  require(segment_capacity >= 1 && junction_capacity >= 1,
+          "resource capacities must be at least 1");
+}
+
+void CongestionLedger::begin_iteration(double present_factor,
+                                       bool track_floor) {
+  present_factor_ = present_factor;
+  track_floor_ = track_floor;
+  penalty_floor_ = 1.0;
+  if (!track_floor_ || occupancy_.empty()) return;
+  double floor = entering_penalty(0);
+  for (std::size_t i = 1; i < occupancy_.size(); ++i) {
+    floor = std::min(floor, entering_penalty(i));
+  }
+  penalty_floor_ = std::max(1.0, floor);
+}
+
+void CongestionLedger::acquire(std::size_t index) {
+  const int occupancy = ++occupancy_[index];
+  if (occupancy > capacity(index) && overused_pos_[index] < 0) {
+    overused_pos_[index] = static_cast<std::int32_t>(overused_.size());
+    overused_.push_back(static_cast<std::uint32_t>(index));
+  }
+}
+
+void CongestionLedger::release(std::size_t index) {
+  const int occupancy = --occupancy_[index];
+  if (occupancy <= capacity(index) && overused_pos_[index] >= 0) {
+    const std::int32_t pos = overused_pos_[index];
+    const std::uint32_t last = overused_.back();
+    overused_[static_cast<std::size_t>(pos)] = last;
+    overused_pos_[last] = pos;
+    overused_.pop_back();
+    overused_pos_[index] = -1;
+  }
+  // Occupancy decrements can lower a resource's penalty below the floor
+  // computed at iteration start; min-updating here keeps the floor a true
+  // lower bound throughout the iteration (increments only raise penalties).
+  if (track_floor_) {
+    penalty_floor_ =
+        std::max(1.0, std::min(penalty_floor_, entering_penalty(index)));
+  }
+}
+
+void CongestionLedger::mark_structural(
+    const std::vector<std::uint32_t>& indices) {
+  if (indices.empty()) return;
+  structural_.assign(occupancy_.size(), 0);
+  for (const std::uint32_t index : indices) structural_[index] = 1;
+}
+
+CongestionLedger::OveruseSummary CongestionLedger::charge_history(
+    double history_increment) {
+  OveruseSummary summary;
+  summary.overused = static_cast<int>(overused_.size());
+  for (const std::uint32_t index : overused_) {
+    if (!is_structural(index)) history_[index] += history_increment;
+    const int excess = occupancy_[index] - capacity(index);
+    summary.max_overuse = std::max(summary.max_overuse, excess);
+    summary.total_excess += excess;
+  }
+  return summary;
+}
 
 CongestionState::CongestionState(std::size_t segment_count,
                                  std::size_t junction_count)

@@ -14,36 +14,6 @@ namespace qspr {
 
 namespace {
 
-/// Dense index for a resource: segments first, then junctions.
-class ResourceTable {
- public:
-  explicit ResourceTable(const Fabric& fabric)
-      : occupancy_(fabric.segment_count() + fabric.junction_count(), 0),
-        history_(fabric.segment_count() + fabric.junction_count(), 0.0),
-        segment_count_(fabric.segment_count()) {}
-
-  [[nodiscard]] std::size_t size() const { return occupancy_.size(); }
-
-  [[nodiscard]] std::size_t index_of(ResourceRef resource) const {
-    return resource.kind == ResourceRef::Kind::Segment
-               ? static_cast<std::size_t>(resource.index)
-               : segment_count_ + static_cast<std::size_t>(resource.index);
-  }
-
-  [[nodiscard]] int capacity_of(ResourceRef resource,
-                                const TechnologyParams& params) const {
-    return resource.kind == ResourceRef::Kind::Segment
-               ? params.channel_capacity
-               : params.junction_capacity;
-  }
-
-  std::vector<int> occupancy_;
-  std::vector<double> history_;
-
- private:
-  std::size_t segment_count_;
-};
-
 ResourceRef resource_of_node(const RouteNode& node) {
   if (node.is_trap) return ResourceRef{};
   if (node.junction.is_valid()) return ResourceRef::junction(node.junction);
@@ -54,8 +24,8 @@ ResourceRef resource_of_node(const RouteNode& node) {
 /// Negotiated cost of stepping across `edge` into node `v`. Callers prune
 /// edges into non-target traps before pricing (traps are endpoints only).
 double edge_weight(const RouteNode& v, const RouteEdge& edge,
-                   const TechnologyParams& params, const ResourceTable& table,
-                   double present_factor, bool turn_aware) {
+                   const TechnologyParams& params,
+                   const CongestionLedger& ledger, bool turn_aware) {
   if (edge.is_turn) {
     return turn_aware ? static_cast<double>(params.t_turn) : 0.1;
   }
@@ -63,11 +33,7 @@ double edge_weight(const RouteNode& v, const RouteEdge& edge,
   const ResourceRef resource = resource_of_node(v);
   double penalty = 1.0;
   if (resource.index >= 0) {
-    const std::size_t index = table.index_of(resource);
-    const int capacity = table.capacity_of(resource, params);
-    const int over = std::max(0, table.occupancy_[index] + 1 - capacity);
-    penalty = (1.0 + static_cast<double>(over) * present_factor) *
-              (1.0 + table.history_[index]);
+    penalty = ledger.entering_penalty(ledger.index_of(resource));
   }
   return static_cast<double>(params.t_move) * penalty;
 }
@@ -81,13 +47,56 @@ struct QueueEntry {
   }
 };
 
+}  // namespace
+
+void NodeWeightCache::build(const RoutingGraph& graph,
+                            const CongestionLedger& ledger) {
+  node_resource.assign(graph.node_count(), -1);
+  node_weight.assign(graph.node_count(), 0.0);
+  // Keep the inner vectors' capacity across rebuilds (the common case is
+  // one scratch serving the same graph for many batches).
+  if (resource_nodes.size() < ledger.size()) {
+    resource_nodes.resize(ledger.size());
+  }
+  for (auto& nodes : resource_nodes) nodes.clear();
+  for (std::size_t n = 0; n < graph.node_count(); ++n) {
+    const ResourceRef resource =
+        resource_of_node(graph.node(RouteNodeId::from_index(n)));
+    if (resource.index < 0) continue;
+    const std::size_t index = ledger.index_of(resource);
+    node_resource[n] = static_cast<std::int32_t>(index);
+    resource_nodes[index].push_back(static_cast<std::uint32_t>(n));
+  }
+}
+
+void NodeWeightCache::refresh_all(const CongestionLedger& ledger,
+                                  double t_move) {
+  t_move_ = t_move;
+  for (std::size_t n = 0; n < node_weight.size(); ++n) {
+    const std::int32_t index = node_resource[n];
+    node_weight[n] =
+        index < 0 ? t_move
+                  : t_move * ledger.entering_penalty(
+                                 static_cast<std::size_t>(index));
+  }
+}
+
+void NodeWeightCache::refresh_resource(const CongestionLedger& ledger,
+                                       std::size_t index) {
+  const double weight = t_move_ * ledger.entering_penalty(index);
+  for (const std::uint32_t n : resource_nodes[index]) {
+    node_weight[n] = weight;
+  }
+}
+
+namespace {
+
 /// One negotiated-cost Dijkstra — the reference engine. Allocates its O(n)
 /// state per query; kept verbatim as the equivalence baseline the optimized
 /// A* engine is tested and benchmarked against.
 std::optional<std::vector<RouteNodeId>> route_one_reference(
     const RoutingGraph& graph, const TechnologyParams& params,
-    const ResourceTable& table, double present_factor, bool turn_aware,
-    TrapId from, TrapId to) {
+    const CongestionLedger& ledger, bool turn_aware, TrapId from, TrapId to) {
   const RouteNodeId source = graph.trap_node(from);
   const RouteNodeId target = graph.trap_node(to);
   if (source == target) return std::vector<RouteNodeId>{source};
@@ -111,8 +120,7 @@ std::optional<std::vector<RouteNodeId>> route_one_reference(
       if (!edge.is_turn && v.is_trap && v.trap != to) {
         continue;  // traps are endpoints only
       }
-      const double weight = edge_weight(v, edge, params, table,
-                                        present_factor, turn_aware);
+      const double weight = edge_weight(v, edge, params, ledger, turn_aware);
       const double candidate = dist[entry.node.index()] + weight;
       if (candidate < dist[edge.to.index()]) {
         dist[edge.to.index()] = candidate;
@@ -133,14 +141,23 @@ std::optional<std::vector<RouteNodeId>> route_one_reference(
   return path;
 }
 
-/// One negotiated-cost A* over the arena — the optimized engine. The grid
-/// lower bound focuses the expansion toward the target; the arena makes the
-/// per-query state O(1) to reset. Returns false when the target is
-/// unreachable; on success fills `path` source-to-target.
-bool route_one_astar(const RoutingGraph& graph, const TechnologyParams& params,
-                     const ResourceTable& table, double present_factor,
-                     bool turn_aware, TrapId from, TrapId to,
-                     SearchArena<double>& arena,
+/// Physics of one optimized search: base move/turn selection costs plus the
+/// admissible congestion floor of the current iteration.
+struct SearchCosts {
+  double t_move = 0.0;
+  double turn_cost = 0.0;
+  double floor = 1.0;
+};
+
+/// One negotiated-cost A* over the arena — the optimized unidirectional
+/// engine. The (optionally congestion-scaled) grid lower bound focuses the
+/// expansion toward the target; the arena makes the per-query state O(1) to
+/// reset, and the weight cache makes pricing an edge one array read.
+/// Returns false when the target is unreachable; on success fills `path`
+/// source-to-target.
+bool route_one_astar(const RoutingGraph& graph,
+                     const NodeWeightCache& weights, const SearchCosts& costs,
+                     TrapId from, TrapId to, SearchArena<double>& arena,
                      std::vector<RouteNodeId>& path) {
   path.clear();
   const RouteNodeId source = graph.trap_node(from);
@@ -151,42 +168,47 @@ bool route_one_astar(const RoutingGraph& graph, const TechnologyParams& params,
   }
 
   const Position target_cell = graph.node(target).cell;
-  const double t_move = static_cast<double>(params.t_move);
-  const double turn_cost =
-      turn_aware ? static_cast<double>(params.t_turn) : 0.1;
+  const auto bound = [&](const RouteNode& node) {
+    return congestion_scaled_bound(node, target_cell, costs.t_move,
+                                   costs.turn_cost, costs.floor,
+                                   /*moves_end_in_trap=*/true);
+  };
 
   arena.begin(graph.node_count());
   arena.relax(source, 0.0, RouteNodeId::invalid());
-  arena.heap_push(
-      grid_lower_bound(graph.node(source), target_cell, t_move, turn_cost),
-      0.0, source);
+  arena.heap_push(bound(graph.node(source)), 0.0, source);
 
+  bool reached = false;
   while (!arena.heap_empty()) {
     const auto entry = arena.heap_pop();
-    if (arena.settled(entry.node) || entry.g != arena.dist(entry.node)) {
-      continue;
+    // Pushes happen only on strict improvement, so at most one live entry
+    // per node carries g == dist: the comparison alone rejects stale
+    // entries, no settled bitmap traffic needed on the hot path.
+    if (entry.g != arena.dist(entry.node)) continue;
+    if (entry.node == target) {
+      reached = true;
+      break;
     }
-    arena.settle(entry.node);
-    if (entry.node == target) break;
 
     for (const RouteEdge& edge : graph.edges(entry.node)) {
-      const RouteNode& v = graph.node(edge.to);
-      if (!edge.is_turn && v.is_trap && v.trap != to) {
-        continue;  // traps are endpoints only
+      // Traps are endpoints only; node_resource < 0 identifies them without
+      // loading the node record on every edge visit.
+      if (!edge.is_turn && edge.to != target &&
+          weights.node_resource[edge.to.index()] < 0) {
+        continue;
       }
-      const double weight = edge_weight(v, edge, params, table,
-                                        present_factor, turn_aware);
+      const double weight = edge.is_turn
+                                ? costs.turn_cost
+                                : weights.node_weight[edge.to.index()];
       const double candidate = entry.g + weight;
       if (candidate < arena.dist(edge.to)) {
         arena.relax(edge.to, candidate, entry.node);
-        arena.heap_push(
-            candidate +
-                grid_lower_bound(v, target_cell, t_move, turn_cost),
-            candidate, edge.to);
+        arena.heap_push(candidate + bound(graph.node(edge.to)), candidate,
+                        edge.to);
       }
     }
   }
-  if (!arena.settled(target)) return false;
+  if (!reached) return false;
 
   for (RouteNodeId node = target; node.is_valid(); node = arena.parent(node)) {
     path.push_back(node);
@@ -196,32 +218,232 @@ bool route_one_astar(const RoutingGraph& graph, const TechnologyParams& params,
   return true;
 }
 
-/// Distinct resources a routed path occupies — reference O(P²) dedup.
-std::vector<ResourceRef> resources_of_reference(const RoutedPath& path) {
-  std::vector<ResourceRef> resources;
-  for (const ResourceUse& use : path.resource_uses) {
-    if (std::find(resources.begin(), resources.end(), use.resource) ==
-        resources.end()) {
-      resources.push_back(use.resource);
+/// Bidirectional negotiated-cost A* for long queries. Both frontiers live in
+/// the arena (begin_dual); the balanced potential p(v) = (h_f(v) - h_b(v))/2
+/// keeps the two searches consistent over the *same* reduced edge costs, so
+/// the classic bidirectional-Dijkstra termination applies: stop as soon as
+/// the two heap tops sum to at least the best meeting cost found. Edge
+/// weights depend only on the node being entered, so a meeting node v splits
+/// the path cost exactly into g_f(v) (which pays for entering v) + g_b(v)
+/// (which pays for everything after v).
+bool route_one_bidirectional(const RoutingGraph& graph,
+                             const NodeWeightCache& weights,
+                             const SearchCosts& costs, TrapId from, TrapId to,
+                             SearchArena<double>& arena,
+                             std::vector<RouteNodeId>& path) {
+  path.clear();
+  const RouteNodeId source = graph.trap_node(from);
+  const RouteNodeId target = graph.trap_node(to);
+  if (source == target) {
+    path.push_back(source);
+    return true;
+  }
+
+  const Position source_cell = graph.node(source).cell;
+  const Position target_cell = graph.node(target).cell;
+  const double t_move = costs.t_move;
+  const double turn_cost = costs.turn_cost;
+  const double floor = costs.floor;
+  // Forward bound: remaining path ends inside the target trap. Backward
+  // bound: a source->v path ends inside a trap only when v itself is one.
+  const auto potential = [&](const RouteNode& node) {
+    const double h_forward = congestion_scaled_bound(
+        node, target_cell, t_move, turn_cost, floor,
+        /*moves_end_in_trap=*/true);
+    const double h_backward = congestion_scaled_bound(
+        node, source_cell, t_move, turn_cost, floor,
+        /*moves_end_in_trap=*/node.is_trap);
+    return 0.5 * (h_forward - h_backward);
+  };
+
+  arena.begin_dual(graph.node_count());
+  arena.relax(source, 0.0, RouteNodeId::invalid());
+  arena.heap_push(potential(graph.node(source)), 0.0, source);
+  arena.relax_b(target, 0.0, RouteNodeId::invalid());
+  arena.heap_push_b(-potential(graph.node(target)), 0.0, target);
+
+  double best = std::numeric_limits<double>::infinity();
+  RouteNodeId meet = RouteNodeId::invalid();
+  const auto consider_meeting = [&](RouteNodeId node, double g_forward,
+                                    double g_backward) {
+    const double total = g_forward + g_backward;
+    if (total < best) {
+      best = total;
+      meet = node;
+    }
+  };
+
+  // Drop stale heap heads so the peeked termination keys are accurate.
+  const auto prune_forward = [&] {
+    while (!arena.heap_empty()) {
+      const auto& top = arena.heap_top();
+      if (arena.settled(top.node) || top.g != arena.dist(top.node)) {
+        arena.heap_pop();
+      } else {
+        break;
+      }
+    }
+  };
+  const auto prune_backward = [&] {
+    while (!arena.heap_empty_b()) {
+      const auto& top = arena.heap_top_b();
+      if (arena.settled_b(top.node) || top.g != arena.dist_b(top.node)) {
+        arena.heap_pop_b();
+      } else {
+        break;
+      }
+    }
+  };
+
+  prune_forward();
+  prune_backward();
+  while (!arena.heap_empty() && !arena.heap_empty_b()) {
+    if (arena.heap_top().f + arena.heap_top_b().f >= best) break;
+    if (arena.heap_top().f <= arena.heap_top_b().f) {
+      const auto entry = arena.heap_pop();
+      arena.settle(entry.node);
+      for (const RouteEdge& edge : graph.edges(entry.node)) {
+        if (!edge.is_turn && edge.to != target &&
+            weights.node_resource[edge.to.index()] < 0) {
+          continue;  // traps are endpoints only
+        }
+        const double weight = edge.is_turn
+                                  ? turn_cost
+                                  : weights.node_weight[edge.to.index()];
+        const double candidate = entry.g + weight;
+        if (candidate < arena.dist(edge.to)) {
+          arena.relax(edge.to, candidate, entry.node);
+          arena.heap_push(candidate + potential(graph.node(edge.to)),
+                          candidate, edge.to);
+          const double g_backward = arena.dist_b(edge.to);
+          if (std::isfinite(g_backward)) {
+            consider_meeting(edge.to, candidate, g_backward);
+          }
+        }
+      }
+      prune_forward();
+    } else {
+      const auto entry = arena.heap_pop_b();
+      arena.settle_b(entry.node);
+      // Every move edge into the settled node costs the same (weights price
+      // the node being entered), so one cache read covers all of them.
+      const double enter_weight = weights.node_weight[entry.node.index()];
+      for (const RouteEdge& edge : graph.edges(entry.node)) {
+        // Symmetric graph: edge.to -> entry.node exists with the same turn
+        // flag, so this relaxes the forward edge (edge.to -> entry.node).
+        if (!edge.is_turn && edge.to != source &&
+            weights.node_resource[edge.to.index()] < 0) {
+          continue;  // only the source trap may start the path
+        }
+        const double weight = edge.is_turn ? turn_cost : enter_weight;
+        const double candidate = entry.g + weight;
+        if (candidate < arena.dist_b(edge.to)) {
+          arena.relax_b(edge.to, candidate, entry.node);
+          arena.heap_push_b(candidate - potential(graph.node(edge.to)),
+                            candidate, edge.to);
+          const double g_forward = arena.dist(edge.to);
+          if (std::isfinite(g_forward)) {
+            consider_meeting(edge.to, g_forward, candidate);
+          }
+        }
+      }
+      prune_backward();
     }
   }
-  return resources;
+
+  if (!meet.is_valid()) return false;
+
+  for (RouteNodeId node = meet; node.is_valid(); node = arena.parent(node)) {
+    path.push_back(node);
+    if (node == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  for (RouteNodeId node = arena.parent_b(meet); node.is_valid();
+       node = arena.parent_b(node)) {
+    path.push_back(node);
+    if (node == target) break;
+  }
+  return true;
 }
 
 /// Distinct dense resource indices of a path, deduped in O(P) with the
-/// stamped set; the result doubles as the net's rip-up (decrement) set for
-/// the next negotiation iteration.
-void collect_resources(const RoutedPath& path, const ResourceTable& table,
+/// stamped set; the result doubles as the net's rip-up (release) set and as
+/// the overlap set the dirty-net worklist intersects with the over-use delta.
+void collect_resources(const RoutedPath& path, const CongestionLedger& ledger,
                        StampedSet& membership,
                        std::vector<std::uint32_t>& indices) {
   indices.clear();
-  membership.reset(table.size());
+  membership.reset(ledger.size());
   for (const ResourceUse& use : path.resource_uses) {
-    const std::size_t index = table.index_of(use.resource);
+    const std::size_t index = ledger.index_of(use.resource);
     if (membership.insert(index)) {
       indices.push_back(static_cast<std::uint32_t>(index));
     }
   }
+}
+
+int manhattan_cells(const RoutingGraph& graph, TrapId from, TrapId to) {
+  const Position a = graph.node(graph.trap_node(from)).cell;
+  const Position b = graph.node(graph.trap_node(to)).cell;
+  return std::abs(a.row - b.row) + std::abs(a.col - b.col);
+}
+
+/// Provable lower bound on the residual capacity excess of any routing of
+/// `nets`: every moving net must cross a port resource of each endpoint
+/// trap, so a trap whose endpoint demand exceeds its total port capacity
+/// forces that much over-use no matter how paths are negotiated. Per-trap
+/// excesses are summed while their port sets stay pairwise disjoint (a sum
+/// over shared ports could double-count capacity — overlapping traps fall
+/// back to the max single-trap excess), which is what lets the negotiation
+/// recognise "stuck at the structural floor" instead of burning the
+/// iteration cap when several distinct traps are over-demanded.
+int structural_excess_floor(const RoutingGraph& graph,
+                            const std::vector<NetRequest>& nets,
+                            const CongestionLedger& ledger,
+                            StampedSet& claimed_ports,
+                            std::vector<int>& trap_demand,
+                            std::vector<std::uint32_t>& structural) {
+  trap_demand.assign(graph.fabric().trap_count(), 0);
+  structural.clear();
+  for (const NetRequest& net : nets) {
+    if (net.from == net.to) continue;
+    ++trap_demand[net.from.index()];
+    ++trap_demand[net.to.index()];
+  }
+  int max_single = 0;
+  int disjoint_sum = 0;
+  std::vector<std::uint32_t> ports;
+  claimed_ports.reset(ledger.size());
+  for (std::size_t t = 0; t < trap_demand.size(); ++t) {
+    if (trap_demand[t] <= 1) continue;  // a single net can always fit
+    int port_capacity = 0;
+    ports.clear();
+    for (const RouteEdge& edge :
+         graph.edges(graph.trap_node(TrapId::from_index(t)))) {
+      if (edge.is_turn) continue;
+      const ResourceRef resource = resource_of_node(graph.node(edge.to));
+      if (resource.index < 0) continue;
+      const auto index =
+          static_cast<std::uint32_t>(ledger.index_of(resource));
+      if (std::find(ports.begin(), ports.end(), index) == ports.end()) {
+        port_capacity += ledger.capacity(index);
+        ports.push_back(index);
+      }
+    }
+    if (trap_demand[t] <= port_capacity) continue;
+    const int excess = trap_demand[t] - port_capacity;
+    max_single = std::max(max_single, excess);
+    bool overlaps = false;
+    for (const std::uint32_t port : ports) {
+      overlaps = overlaps || claimed_ports.contains(port);
+    }
+    if (!overlaps) {
+      disjoint_sum += excess;
+      for (const std::uint32_t port : ports) claimed_ports.insert(port);
+    }
+    structural.insert(structural.end(), ports.begin(), ports.end());
+  }
+  return std::max(max_single, disjoint_sum);
 }
 
 }  // namespace
@@ -241,9 +463,14 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
                                        PathFinderScratch& scratch) {
   params.validate();
   require(options.max_iterations >= 1, "need at least one iteration");
+  require(options.bidirectional_min_cells >= 0,
+          "bidirectional_min_cells must be non-negative");
+  require(options.present_factor_max > 0.0,
+          "present_factor_max must be positive");
 
   const Fabric& fabric = graph.fabric();
-  ResourceTable table(fabric);
+  CongestionLedger ledger(fabric.segment_count(), fabric.junction_count(),
+                          params.channel_capacity, params.junction_capacity);
   PathFinderResult result;
   result.paths.resize(nets.size());
 
@@ -254,75 +481,186 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
   StampedSet& membership = scratch.membership;
   std::vector<RouteNodeId>& node_buffer = scratch.node_buffer;
   // Per-net occupancy sets (dense resource indices): computed once per
-  // reroute, reused for the rip-up decrement of the following iteration.
+  // reroute, reused for the rip-up release of the net's next re-route and
+  // for the dirty-net overlap test.
   std::vector<std::vector<std::uint32_t>>& net_resources =
       scratch.net_resources;
   net_resources.assign(nets.size(), {});
+  std::vector<std::uint8_t>& dirty = scratch.net_dirty;
+  dirty.assign(nets.size(), 1);  // every net routes in iteration 1
+
+  if (options.adaptive_schedule) {
+    std::vector<std::uint32_t> structural;
+    result.min_feasible_excess = structural_excess_floor(
+        graph, nets, ledger, membership, scratch.trap_demand, structural);
+    ledger.mark_structural(structural);
+  }
+
+  const SearchCosts base_costs{
+      static_cast<double>(params.t_move),
+      options.turn_aware ? static_cast<double>(params.t_turn) : 0.1, 1.0};
+  NodeWeightCache& weights = scratch.weights;
+  if (optimized) weights.build(graph, ledger);
 
   double present_factor = options.present_factor;
+  double history_increment = options.history_increment;
+  // Fewest over-used resources seen so far; partial rip-up escalates to a
+  // full sweep whenever an iteration fails to improve on it.
+  int best_overused = std::numeric_limits<int>::max();
+  // Stagnation detector: consecutive iterations without any reduction of the
+  // total capacity excess.
+  int best_excess = std::numeric_limits<int>::max();
+  int stagnant_iterations = 0;
   for (int iteration = 1; iteration <= options.max_iterations; ++iteration) {
-    result.iterations = iteration;
-    // Incremental rip-up: each net is removed from the occupancy, re-routed
-    // against the *other* nets' present congestion plus the history costs,
-    // and re-inserted (the original PathFinder inner loop).
+    result.iterations_used = iteration;
+    ledger.begin_iteration(present_factor,
+                           optimized && options.adaptive_bound);
+    if (optimized) {
+      // History charges and the present-factor step repriced (potentially)
+      // every loaded resource: refresh the whole weight cache once per
+      // iteration, then keep it in sync per ripped/re-inserted resource.
+      weights.refresh_all(ledger, base_costs.t_move);
+    }
+    // Incremental rip-up: each dirty net is removed from the occupancy,
+    // re-routed against the *other* nets' present congestion plus the
+    // history costs, and re-inserted. With partial_ripup off every net is
+    // dirty every iteration (the original full-sweep PathFinder loop).
     for (std::size_t i = 0; i < nets.size(); ++i) {
-      if (optimized) {
-        if (iteration > 1) {
-          for (const std::uint32_t index : net_resources[i]) {
-            --table.occupancy_[index];
-          }
-        }
-        if (!route_one_astar(graph, params, table, present_factor,
-                             options.turn_aware, nets[i].from, nets[i].to,
-                             arena, node_buffer)) {
-          throw RoutingError("PathFinder: net " + std::to_string(i) +
-                             " has no route on this fabric");
-        }
-        result.paths[i] = lower_path(graph, node_buffer, params);
-        collect_resources(result.paths[i], table, membership,
-                          net_resources[i]);
+      if (!dirty[i]) continue;
+      if (iteration > 1) {
         for (const std::uint32_t index : net_resources[i]) {
-          ++table.occupancy_[index];
+          ledger.release(index);
+          if (optimized) weights.refresh_resource(ledger, index);
         }
+      }
+      ++result.searches_performed;
+      bool routed = false;
+      if (optimized) {
+        SearchCosts costs = base_costs;
+        if (options.adaptive_bound) costs.floor = ledger.penalty_floor();
+        const bool long_query =
+            options.bidirectional &&
+            manhattan_cells(graph, nets[i].from, nets[i].to) >=
+                options.bidirectional_min_cells;
+        routed = long_query
+                     ? route_one_bidirectional(graph, weights, costs,
+                                               nets[i].from, nets[i].to,
+                                               arena, node_buffer)
+                     : route_one_astar(graph, weights, costs, nets[i].from,
+                                       nets[i].to, arena, node_buffer);
       } else {
-        if (iteration > 1) {
-          for (const ResourceRef& resource :
-               resources_of_reference(result.paths[i])) {
-            --table.occupancy_[table.index_of(resource)];
-          }
-        }
-        auto nodes =
-            route_one_reference(graph, params, table, present_factor,
-                                options.turn_aware, nets[i].from, nets[i].to);
-        if (!nodes.has_value()) {
-          throw RoutingError("PathFinder: net " + std::to_string(i) +
-                             " has no route on this fabric");
-        }
-        result.paths[i] = lower_path(graph, *nodes, params);
-        for (const ResourceRef& resource :
-             resources_of_reference(result.paths[i])) {
-          ++table.occupancy_[table.index_of(resource)];
-        }
+        auto nodes = route_one_reference(graph, params, ledger,
+                                         options.turn_aware, nets[i].from,
+                                         nets[i].to);
+        routed = nodes.has_value();
+        if (routed) node_buffer = std::move(*nodes);
+      }
+      if (!routed) {
+        throw RoutingError("PathFinder: net " + std::to_string(i) +
+                           " has no route on this fabric");
+      }
+      result.paths[i] = lower_path(graph, node_buffer, params);
+      collect_resources(result.paths[i], ledger, membership,
+                        net_resources[i]);
+      for (const std::uint32_t index : net_resources[i]) {
+        ledger.acquire(index);
+        if (optimized) weights.refresh_resource(ledger, index);
       }
     }
 
-    // Check for over-use; charge history on offenders.
-    int overused = 0;
-    for (std::size_t index = 0; index < table.occupancy_.size(); ++index) {
-      const int capacity = index < fabric.segment_count()
-                               ? params.channel_capacity
-                               : params.junction_capacity;
-      if (table.occupancy_[index] > capacity) {
-        ++overused;
-        table.history_[index] += options.history_increment;
-      }
-    }
-    result.overused_resources = overused;
-    if (overused == 0) {
+    // Charge history on the over-use delta set (no full-table sweep).
+    const CongestionLedger::OveruseSummary summary =
+        ledger.charge_history(history_increment);
+    result.overused_resources = summary.overused;
+    result.max_overuse = summary.max_overuse;
+    result.total_excess = summary.total_excess;
+    if (summary.overused == 0) {
       result.converged = true;
       break;
     }
+    if (options.adaptive_schedule) {
+      if (summary.total_excess <= result.min_feasible_excess) {
+        // Residual over-use has reached the provable structural floor: no
+        // negotiation can do better, stop and report instead of burning the
+        // remaining iterations on ever-costlier searches.
+        break;
+      }
+      if (summary.total_excess < best_excess) {
+        // Only a clear improvement resets the stagnation counter: on a
+        // saturated plateau the excess wobbles by +-1 around its floor, and
+        // counting that noise as progress keeps the loop flooding for the
+        // whole iteration cap.
+        const int margin = std::max(1, best_excess / 16);
+        if (best_excess - summary.total_excess >= margin) {
+          stagnant_iterations = 0;
+          history_increment = options.history_increment;
+        }
+        best_excess = summary.total_excess;
+      } else {
+        ++stagnant_iterations;
+        // A stubborn *tail* (a handful of excess units) yields to ramped
+        // permanent pressure: double the history increment until the
+        // plateau breaks. Tail iterations are usually cheap — partial
+        // rip-up only re-routes the few offending nets — so the ramp gets
+        // several multiples of the plateau patience; but a tail that
+        // survives even a fully-saturated ramp (e.g. structural over-use
+        // the floor under-approximated across overlapping port sets) is
+        // stuck, and keeping at it would burn the rest of the cap on
+        // escalated full sweeps.
+        const int tail =
+            std::max(4, static_cast<int>(nets.size()) / 2);
+        if (summary.total_excess <= tail) {
+          history_increment = std::min(history_increment * 2.0,
+                                       options.history_increment * 64.0);
+          if (options.stagnation_limit > 0 &&
+              stagnant_iterations >= 6 * options.stagnation_limit) {
+            break;
+          }
+        } else if (options.stagnation_limit > 0 &&
+                   stagnant_iterations >= options.stagnation_limit) {
+          // A saturated *plateau* (excess comparable to the net count) is
+          // the signature of regional over-subscription: ramping only
+          // destabilises it, and every extra iteration is a whole-fabric
+          // flood per net. Stop and report the residual.
+          break;
+        }
+      }
+    }
+    if (options.partial_ripup) {
+      if (summary.overused >= best_overused) {
+        // Stagnation: the dirty subset is ping-ponging among the contested
+        // corridors while clean nets pin the alternatives. Escalate to one
+        // full rip-up sweep so the whole net set renegotiates, then resume
+        // partial sweeps.
+        std::fill(dirty.begin(), dirty.end(), std::uint8_t{1});
+      } else {
+        // Next iteration's worklist: exactly the nets whose current path
+        // crosses a *negotiable* over-subscribed resource. Structural
+        // over-use (endpoint port demand above capacity) cannot be routed
+        // away, so the nets forced through it are left settled instead of
+        // churning the whole region every iteration. Any negotiable
+        // overused resource is held by at least one net, so the worklist
+        // can never stall while removable over-use remains.
+        for (std::size_t i = 0; i < nets.size(); ++i) {
+          dirty[i] = 0;
+          for (const std::uint32_t index : net_resources[i]) {
+            if (ledger.is_overused(index) && !ledger.is_structural(index)) {
+              dirty[i] = 1;
+              break;
+            }
+          }
+        }
+      }
+      best_overused = std::min(best_overused, summary.overused);
+    }
     present_factor *= 1.5;  // standard PathFinder schedule
+    if (options.adaptive_schedule) {
+      // Cap the schedule once saturated: beyond the ceiling, the (ramped)
+      // history carries the pressure, and edge weights stay commensurate
+      // with the admissible distance bound instead of drowning it.
+      // Converging runs never reach the ceiling.
+      present_factor = std::min(present_factor, options.present_factor_max);
+    }
   }
 
   result.total_delay = 0;

@@ -62,9 +62,25 @@ class SearchArena {
     }
     if (++generation_ == 0) {  // wrapped: stamps may alias, wipe them
       std::fill(stamp_.begin(), stamp_.end(), 0);
+      std::fill(stamp_b_.begin(), stamp_b_.end(), 0);
       generation_ = 1;
     }
     heap_.clear();
+  }
+
+  /// Starts a fresh *bidirectional* search: the primary (forward) frontier
+  /// plus a second generation-stamped frontier sharing the same generation
+  /// counter. Callers that never go bidirectional pay nothing — the backward
+  /// arrays are sized on first begin_dual only.
+  void begin_dual(std::size_t node_count) {
+    begin(node_count);
+    if (dist_b_.size() < node_count) {
+      dist_b_.resize(node_count);
+      parent_b_.resize(node_count);
+      settled_b_.resize(node_count);
+      stamp_b_.resize(node_count, 0);
+    }
+    heap_b_.clear();
   }
 
   [[nodiscard]] Cost dist(RouteNodeId id) {
@@ -98,6 +114,43 @@ class SearchArena {
     heap_.pop_back();
     return top;
   }
+  /// Smallest entry without removal (heap must be non-empty) — the
+  /// meet-in-the-middle termination test reads both tops every step.
+  [[nodiscard]] const HeapEntry& heap_top() const { return heap_.front(); }
+
+  // --- second (backward) frontier; live only after begin_dual ---
+
+  [[nodiscard]] Cost dist_b(RouteNodeId id) {
+    touch_b(id.index());
+    return dist_b_[id.index()];
+  }
+  [[nodiscard]] RouteNodeId parent_b(RouteNodeId id) const {
+    return stamp_b_[id.index()] == generation_ ? parent_b_[id.index()]
+                                               : RouteNodeId::invalid();
+  }
+  [[nodiscard]] bool settled_b(RouteNodeId id) {
+    touch_b(id.index());
+    return settled_b_[id.index()] != 0;
+  }
+  void settle_b(RouteNodeId id) { settled_b_[id.index()] = 1; }
+  void relax_b(RouteNodeId id, Cost g, RouteNodeId from) {
+    touch_b(id.index());
+    dist_b_[id.index()] = g;
+    parent_b_[id.index()] = from;
+  }
+
+  [[nodiscard]] bool heap_empty_b() const { return heap_b_.empty(); }
+  void heap_push_b(Cost f, Cost g, RouteNodeId node) {
+    heap_b_.push_back(HeapEntry{f, g, node});
+    std::push_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
+  }
+  HeapEntry heap_pop_b() {
+    std::pop_heap(heap_b_.begin(), heap_b_.end(), std::greater<>{});
+    const HeapEntry top = heap_b_.back();
+    heap_b_.pop_back();
+    return top;
+  }
+  [[nodiscard]] const HeapEntry& heap_top_b() const { return heap_b_.front(); }
 
  private:
   void touch(std::size_t i) {
@@ -108,6 +161,14 @@ class SearchArena {
       settled_[i] = 0;
     }
   }
+  void touch_b(std::size_t i) {
+    if (stamp_b_[i] != generation_) {
+      stamp_b_[i] = generation_;
+      dist_b_[i] = infinity();
+      parent_b_[i] = RouteNodeId::invalid();
+      settled_b_[i] = 0;
+    }
+  }
 
   std::vector<Cost> dist_;
   std::vector<RouteNodeId> parent_;
@@ -115,6 +176,13 @@ class SearchArena {
   std::vector<std::uint32_t> stamp_;
   std::uint32_t generation_ = 0;
   std::vector<HeapEntry> heap_;  // binary min-heap via std::push/pop_heap
+  // Backward-frontier twin state (bidirectional searches only); shares
+  // generation_ so one begin_dual invalidates both sides in O(1).
+  std::vector<Cost> dist_b_;
+  std::vector<RouteNodeId> parent_b_;
+  std::vector<std::uint8_t> settled_b_;
+  std::vector<std::uint32_t> stamp_b_;
+  std::vector<HeapEntry> heap_b_;
 };
 
 /// Generation-stamped membership set over a dense index range: O(1) insert /
