@@ -1,18 +1,19 @@
 // Routing-core benchmark harness: runs the micro-router, PathFinder,
-// saturated-overload ablation and scaling benches and emits a
-// machine-readable BENCH_routing.json so every perf PR leaves a recorded
-// trajectory.
+// saturated-overload ablation, scaling, trial-parallel and batch-throughput
+// benches and emits a machine-readable BENCH_routing.json so every perf PR
+// leaves a recorded trajectory.
 //
 //   bench_runner [--smoke] [--output PATH] [--jobs N] [--baseline PATH]
 //
 // --smoke shrinks repetition counts to a few iterations (CI bitrot guard)
 // and, when a baseline BENCH_routing.json is readable, gates the pathfinder_*
 // per-query numbers against it (>2x regression fails the run; set
-// QSPR_SMOKE_NO_PERF_GATE=1 on slow runners to skip the gate);
-// --output defaults to BENCH_routing.json in the working directory;
+// QSPR_SMOKE_NO_PERF_GATE=1 on slow runners to skip the gate); suites
+// missing from the baseline are reported explicitly, never skipped in
+// silence. --output defaults to BENCH_routing.json in the working directory;
 // --baseline defaults to the checked-in BENCH_routing.json (repo root);
-// --jobs caps the worker counts exercised by the parallel-scaling suite
-// (default 8; the suite always starts from 1 worker).
+// --jobs caps the worker counts exercised by the parallel-scaling and
+// batch-throughput suites (default 8; both always start from 1 worker).
 //
 // Reported per bench: ns/query (one nominal inner search: nets x iterations),
 // ns/rep (one whole negotiation — the number that multiplies through the
@@ -21,7 +22,8 @@
 // PathFinder suites run the optimized stack against the PR-1 baseline
 // configuration (reference Dijkstra engine, full rip-up, classic schedule),
 // so speedups are measured against live pre-optimization behaviour — never
-// against a number frozen in a doc.
+// against a number frozen in a doc. batch_throughput likewise measures the
+// batch service against a live sequential map_program loop.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -30,8 +32,11 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/json.hpp"
 #include "common/thread_pool.hpp"
 #include "route/pathfinder.hpp"
+#include "service/batch_mapper.hpp"
+#include "service/corpus.hpp"
 
 using namespace qspr;
 using qspr_bench::JsonWriter;
@@ -186,22 +191,24 @@ std::string speedup_cell(double baseline_ns, double ns) {
   return ns > 0.0 ? format_fixed(baseline_ns / ns, 2) + "x" : "n/a";
 }
 
-/// Minimal extractor for the perf gate: finds the `ns_per_query` of the
-/// sample with the given name and engine in a BENCH_routing.json produced by
-/// this harness (field order is fixed: name, engine, ... ns_per_query).
-/// Returns a negative value when the sample is absent.
-double baseline_ns_per_query(const std::string& baseline_text,
+/// Perf-gate extractor over a *parsed* baseline BENCH_routing.json: the
+/// `ns_per_query` of the pathfinder_runs sample with the given name and
+/// engine. Field order and formatting no longer matter (the shared JSON
+/// reader handles both), and a malformed baseline fails the gate loudly
+/// instead of silently matching nothing. Returns a negative value when the
+/// sample is absent.
+double baseline_ns_per_query(const JsonValue& baseline,
                              const std::string& name,
                              const std::string& engine) {
-  const std::string key =
-      "\"name\":\"" + name + "\",\"engine\":\"" + engine + "\"";
-  const std::size_t at = baseline_text.find(key);
-  if (at == std::string::npos) return -1.0;
-  const std::string field = "\"ns_per_query\":";
-  const std::size_t value_at = baseline_text.find(field, at);
-  if (value_at == std::string::npos) return -1.0;
-  return std::strtod(baseline_text.c_str() + value_at + field.size(),
-                     nullptr);
+  const JsonValue* runs = baseline.find("pathfinder_runs");
+  if (runs == nullptr || !runs->is_array()) return -1.0;
+  for (const JsonValue& sample : runs->items()) {
+    if (sample.string_or("name", "") == name &&
+        sample.string_or("engine", "") == engine) {
+      return sample.number_or("ns_per_query", -1.0);
+    }
+  }
+  return -1.0;
 }
 
 }  // namespace
@@ -524,6 +531,101 @@ int main(int argc, char** argv) {
               << table.to_string();
   }
 
+  // --------------------------------------------------- batch throughput ---
+  // The batch mapping service over a mixed-size corpus: programs/sec of
+  // BatchMapper on a shared MappingEngine at growing worker counts, against
+  // a live sequential map_program loop over the same manifest. Per-program
+  // results are bit-identical to the loop at any worker count (checked),
+  // and the per-fabric artifact cache must build exactly once for the whole
+  // batch.
+  {
+    const std::vector<Program> corpus = make_batch_corpus(/*full=*/!smoke);
+    const Fabric fabric = make_paper_fabric();
+    MapperOptions options;
+    options.placer = PlacerKind::MonteCarlo;
+    options.monte_carlo_trials = smoke ? 4 : 12;
+    options.rng_seed = 11;
+
+    std::vector<BatchJob> manifest;
+    for (const Program& program : corpus) {
+      BatchJob job;
+      job.name = program.name();
+      job.program = &program;
+      job.fabric = &fabric;
+      job.options = options;
+      manifest.push_back(job);
+    }
+
+    // Live sequential baseline: one map_program call per program, one
+    // worker, no shared artifacts.
+    std::vector<Duration> sequential_latencies;
+    std::vector<std::string> sequential_traces;
+    const Stopwatch sequential_watch;
+    for (const Program& program : corpus) {
+      const MapResult result = map_program(program, fabric, options);
+      sequential_latencies.push_back(result.latency);
+      sequential_traces.push_back(result.trace.to_string());
+    }
+    const double sequential_ms = sequential_watch.elapsed_ms();
+
+    std::vector<int> job_levels;
+    for (const int jobs : {1, 2, 4, 8}) {
+      if (jobs <= max_jobs) job_levels.push_back(jobs);
+    }
+
+    TextTable table({"Workers", "Programs", "wall ms", "programs/sec",
+                     "speedup", "identical", "artifact builds"});
+    json.key("batch_throughput").begin_object();
+    json.field("fabric", "paper_45x85");
+    json.field("trials_per_program", options.monte_carlo_trials);
+    json.key("programs").begin_array();
+    for (const Program& program : corpus) json.value(program.name());
+    json.end_array();
+    json.field("sequential_wall_ms", sequential_ms);
+    json.field("hardware_concurrency",
+               static_cast<long long>(ThreadPool::default_worker_count()));
+    json.key("runs").begin_array();
+    for (const int workers : job_levels) {
+      MappingEngine engine(workers);
+      BatchMapper batch(engine);
+      const BatchResult result = batch.run(manifest);
+      bool identical = result.summary.failed == 0;
+      for (std::size_t i = 0; identical && i < corpus.size(); ++i) {
+        identical = result.records[i].ok &&
+                    result.records[i].result.latency ==
+                        sequential_latencies[i] &&
+                    result.records[i].result.trace.to_string() ==
+                        sequential_traces[i];
+      }
+      const double speedup = result.summary.wall_ms > 0.0
+                                 ? sequential_ms / result.summary.wall_ms
+                                 : 0.0;
+      table.add_row({std::to_string(workers),
+                     std::to_string(result.summary.jobs),
+                     format_fixed(result.summary.wall_ms, 1),
+                     format_fixed(result.summary.programs_per_sec, 2),
+                     format_fixed(speedup, 2) + "x",
+                     identical ? "yes" : "NO",
+                     std::to_string(result.summary.artifact_builds)});
+      json.begin_object()
+          .field("workers", workers)
+          .field("wall_ms", result.summary.wall_ms)
+          .field("programs_per_sec", result.summary.programs_per_sec)
+          .field("speedup_vs_sequential", speedup)
+          .field("trial_cpu_ms", result.summary.trial_cpu_ms)
+          .field("identical_to_sequential", identical)
+          .field("artifact_builds", result.summary.artifact_builds)
+          .field("artifact_hits", result.summary.artifact_hits)
+          .end_object();
+    }
+    json.end_array().end_object();
+    std::cout << "\nbatch throughput (" << corpus.size()
+              << " mixed-size programs, MC m=" << options.monte_carlo_trials
+              << ", sequential loop " << format_fixed(sequential_ms, 1)
+              << " ms):\n"
+              << table.to_string();
+  }
+
   json.end_object();
 
   std::ofstream file(output);
@@ -552,14 +654,34 @@ int main(int argc, char** argv) {
     }
     std::ostringstream baseline_stream;
     baseline_stream << baseline_file.rdbuf();
-    const std::string baseline_text = baseline_stream.str();
+    JsonValue baseline;
+    try {
+      baseline = parse_json(baseline_stream.str());
+    } catch (const std::exception& e) {
+      // A baseline the reader cannot parse would silently disarm the gate
+      // CI relies on: fail loudly instead.
+      std::cerr << "perf gate: baseline " << baseline_path
+                << " is not valid JSON (" << e.what()
+                << ") — re-record it with this harness\n";
+      return 3;
+    }
 
     bool failed = false;
     int matched = 0;
+    int missing = 0;
     for (const PathFinderSample& sample : gated_samples) {
       const double recorded =
-          baseline_ns_per_query(baseline_text, sample.name, sample.engine);
-      if (recorded <= 0.0) continue;  // new suite, nothing to gate against
+          baseline_ns_per_query(baseline, sample.name, sample.engine);
+      if (recorded <= 0.0) {
+        // New suite with nothing recorded yet: not a regression, but say so
+        // explicitly — a silently skipped suite reads as "gated" when it
+        // is not.
+        ++missing;
+        std::cout << "perf gate: " << sample.name << "/" << sample.engine
+                  << " missing from baseline " << baseline_path
+                  << " — not gated; re-record to arm it\n";
+        continue;
+      }
       ++matched;
       const double ratio = sample.ns_per_query / recorded;
       const bool regressed = ratio > 2.0;
@@ -576,12 +698,12 @@ int main(int argc, char** argv) {
       return 3;
     }
     if (matched == 0 && !gated_samples.empty()) {
-      // A baseline that matches no sample means the extractor and the
-      // recorded file disagree (pretty-printed JSON, renamed fields, ...):
-      // fail loudly instead of silently disarming the gate CI relies on.
-      std::cerr << "perf gate: baseline " << baseline_path
-                << " matched no pathfinder sample — re-record it with this "
-                   "harness\n";
+      // A baseline that matches no sample at all means the recorded file
+      // and this harness disagree wholesale (renamed suites/fields):
+      // fail loudly instead of silently disarming the gate.
+      std::cerr << "perf gate: baseline " << baseline_path << " matched 0/"
+                << gated_samples.size()
+                << " pathfinder samples — re-record it with this harness\n";
       return 3;
     }
   }

@@ -1,17 +1,19 @@
-// Shared helpers for the experiment-reproduction benches: console formatting,
-// steady-clock micro-timing, and a minimal JSON writer for the
-// machine-readable perf trajectory (BENCH_*.json).
+// Shared helpers for the experiment-reproduction benches: console formatting
+// and steady-clock micro-timing. The JSON writer the benches use for the
+// machine-readable perf trajectory (BENCH_*.json) lives in common/json.hpp,
+// shared with the batch mapping service's JSONL output.
 #pragma once
 
 #include <chrono>
 #include <iostream>
-#include <sstream>
 #include <string>
-#include <vector>
 
+#include "common/json.hpp"
 #include "core/qspr.hpp"
 
 namespace qspr_bench {
+
+using JsonWriter = ::qspr::JsonWriter;
 
 inline void print_header(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
@@ -36,109 +38,5 @@ double time_ns_per_rep(int reps, Fn&& fn) {
   return std::chrono::duration<double, std::nano>(elapsed).count() /
          static_cast<double>(reps);
 }
-
-/// Streaming JSON writer, just enough for flat-ish benchmark reports:
-/// objects, arrays, string/number/bool scalars, correct comma placement.
-class JsonWriter {
- public:
-  [[nodiscard]] std::string str() const { return out_.str(); }
-
-  JsonWriter& begin_object() {
-    separate();
-    out_ << "{";
-    stack_.push_back(false);
-    return *this;
-  }
-  JsonWriter& end_object() {
-    out_ << "}";
-    stack_.pop_back();
-    return *this;
-  }
-  JsonWriter& begin_array() {
-    separate();
-    out_ << "[";
-    stack_.push_back(false);
-    return *this;
-  }
-  JsonWriter& end_array() {
-    out_ << "]";
-    stack_.pop_back();
-    return *this;
-  }
-
-  JsonWriter& key(const std::string& name) {
-    separate();
-    out_ << '"' << escape(name) << "\":";
-    pending_value_ = true;
-    return *this;
-  }
-
-  JsonWriter& value(const std::string& v) {
-    separate();
-    out_ << '"' << escape(v) << '"';
-    return *this;
-  }
-  JsonWriter& value(const char* v) { return value(std::string(v)); }
-  JsonWriter& value(double v) {
-    separate();
-    std::ostringstream number;
-    number.precision(15);
-    number << v;
-    out_ << number.str();
-    return *this;
-  }
-  JsonWriter& value(long long v) {
-    separate();
-    out_ << v;
-    return *this;
-  }
-  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
-  JsonWriter& value(std::size_t v) {
-    return value(static_cast<long long>(v));
-  }
-  JsonWriter& value(bool v) {
-    separate();
-    out_ << (v ? "true" : "false");
-    return *this;
-  }
-
-  template <typename T>
-  JsonWriter& field(const std::string& name, const T& v) {
-    return key(name).value(v);
-  }
-
- private:
-  static std::string escape(const std::string& s) {
-    std::string escaped;
-    escaped.reserve(s.size());
-    for (const char c : s) {
-      switch (c) {
-        case '"': escaped += "\\\""; break;
-        case '\\': escaped += "\\\\"; break;
-        case '\n': escaped += "\\n"; break;
-        case '\t': escaped += "\\t"; break;
-        default: escaped += c;
-      }
-    }
-    return escaped;
-  }
-
-  /// Emits the comma before a sibling; the first element of a container and
-  /// the value right after a key are comma-free.
-  void separate() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;
-    }
-    if (!stack_.empty()) {
-      if (stack_.back()) out_ << ",";
-      stack_.back() = true;
-    }
-  }
-
-  std::ostringstream out_;
-  std::vector<bool> stack_;  // per open container: "has emitted an element"
-  bool pending_value_ = false;
-};
 
 }  // namespace qspr_bench

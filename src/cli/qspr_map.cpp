@@ -81,17 +81,14 @@ int main(int argc, char** argv) {
         program = make_encoder(*code);
       } else if (arg == "--mapper") {
         const std::string name = next();
-        if (name == "qspr") options.kind = MapperKind::Qspr;
-        else if (name == "quale") options.kind = MapperKind::Quale;
-        else if (name == "qpos") options.kind = MapperKind::Qpos;
-        else if (name == "baseline") options.kind = MapperKind::IdealBaseline;
-        else throw Error("unknown mapper: " + name);
+        const auto kind = mapper_kind_from_name(name);
+        if (!kind.has_value()) throw Error("unknown mapper: " + name);
+        options.kind = *kind;
       } else if (arg == "--placer") {
         const std::string name = next();
-        if (name == "mvfb") options.placer = PlacerKind::Mvfb;
-        else if (name == "mc") options.placer = PlacerKind::MonteCarlo;
-        else if (name == "center") options.placer = PlacerKind::Center;
-        else throw Error("unknown placer: " + name);
+        const auto placer = placer_kind_from_name(name);
+        if (!placer.has_value()) throw Error("unknown placer: " + name);
+        options.placer = *placer;
       } else if (arg == "--m") {
         const int m = static_cast<int>(parse_integer(next()));
         options.mvfb_seeds = m;

@@ -1,150 +1,53 @@
-// Fixed-size worker pool driving the trial-parallel mapping flows.
+// Blocking fork-join view over the shared Executor, kept for the
+// trial-parallel loops that want the original "one pool, one loop" shape.
 //
-// The mapping pipeline evaluates many independent placement trials (MVFB
-// seeds, Monte-Carlo placements) against shared read-only inputs; each trial
-// only needs thread-confined scratch (a SearchArena, an Rng forked up front
-// by trial index). parallel_for_each hands out indices from an atomic
-// counter so the work distribution is dynamic, while determinism is the
-// *caller's* contract: a trial's outputs must depend only on its index,
-// never on which worker ran it or in what order.
+// parallel_for_each hands out indices dynamically while determinism stays
+// the *caller's* contract: a trial's outputs must depend only on its index,
+// never on which worker ran it or in what order. Worker 0 is the calling
+// thread, so a 1-worker pool spawns no threads and executes indices
+// 0..count-1 strictly in order — the serial reference the parallel runs are
+// tested bit-identical against. When a body throws, remaining indices are
+// abandoned (best effort) and the exception thrown by the *lowest* index is
+// rethrown, so failures are deterministic too.
 //
-// Worker 0 is the calling thread, so a 1-worker pool spawns no threads and
-// executes indices 0..count-1 strictly in order — the serial reference the
-// parallel runs are tested bit-identical against.
+// New code that wants several loops sharing one set of workers — the batch
+// mapping service above all — should use Executor's submit/wait API
+// directly; this wrapper exists so single-loop callers keep a one-line
+// interface.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <limits>
-#include <mutex>
-#include <thread>
-#include <vector>
 
-#include "common/error.hpp"
+#include "common/executor.hpp"
 
 namespace qspr {
 
 class ThreadPool {
  public:
   /// Spawns `workers - 1` threads (the caller is worker 0). workers >= 1.
-  explicit ThreadPool(int workers) : workers_(workers) {
-    require(workers >= 1, "thread pool needs at least one worker");
-    threads_.reserve(static_cast<std::size_t>(workers_ - 1));
-    for (int w = 1; w < workers_; ++w) {
-      threads_.emplace_back([this, w] { worker_loop(w); });
-    }
-  }
-
-  ~ThreadPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    wake_.notify_all();
-    for (std::thread& thread : threads_) thread.join();
-  }
+  explicit ThreadPool(int workers) : executor_(workers) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  [[nodiscard]] int worker_count() const { return workers_; }
+  [[nodiscard]] int worker_count() const { return executor_.worker_count(); }
 
   /// The number of workers a CLI should default to.
   [[nodiscard]] static int default_worker_count() {
-    return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    return Executor::default_worker_count();
   }
 
   /// Runs body(index, worker) for every index in [0, count) and blocks until
-  /// all have finished. `worker` is a stable id in [0, worker_count()) for
-  /// indexing per-worker scratch. When a body throws, remaining indices are
-  /// abandoned (best effort) and the exception thrown by the *lowest* index
-  /// is rethrown here, so failures are deterministic too. Not reentrant:
-  /// bodies must not call back into the same pool.
+  /// all have finished. Not reentrant: bodies must not call back into the
+  /// same pool.
   void parallel_for_each(std::size_t count,
                          const std::function<void(std::size_t, int)>& body) {
-    if (count == 0) return;
-    if (workers_ == 1 || count == 1) {
-      for (std::size_t i = 0; i < count; ++i) body(i, 0);
-      return;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      body_ = &body;
-      count_ = count;
-      next_.store(0, std::memory_order_relaxed);
-      active_workers_ = workers_ - 1;
-      error_ = nullptr;
-      error_index_ = std::numeric_limits<std::size_t>::max();
-      ++job_;
-    }
-    wake_.notify_all();
-    run_indices(/*worker=*/0);
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return active_workers_ == 0; });
-    body_ = nullptr;
-    if (error_) {
-      const std::exception_ptr error = error_;
-      error_ = nullptr;
-      std::rethrow_exception(error);
-    }
+    executor_.run(count, body);
   }
 
  private:
-  void worker_loop(int worker) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return stop_ || job_ != seen; });
-        if (stop_) return;
-        seen = job_;
-      }
-      run_indices(worker);
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        --active_workers_;
-      }
-      idle_.notify_one();
-    }
-  }
-
-  void run_indices(int worker) {
-    for (;;) {
-      const std::size_t index = next_.fetch_add(1, std::memory_order_relaxed);
-      if (index >= count_) return;
-      try {
-        (*body_)(index, worker);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (index < error_index_) {
-          error_index_ = index;
-          error_ = std::current_exception();
-        }
-        // Abandon indices not yet claimed; in-flight ones run to completion.
-        next_.store(count_, std::memory_order_relaxed);
-      }
-    }
-  }
-
-  const int workers_;
-  std::vector<std::thread> threads_;
-
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable idle_;
-  bool stop_ = false;
-  std::uint64_t job_ = 0;
-  int active_workers_ = 0;
-
-  const std::function<void(std::size_t, int)>* body_ = nullptr;
-  std::size_t count_ = 0;
-  std::atomic<std::size_t> next_{0};
-  std::exception_ptr error_;
-  std::size_t error_index_ = 0;
+  Executor executor_;
 };
 
 }  // namespace qspr

@@ -1,0 +1,98 @@
+#include "core/artifact_cache.hpp"
+
+namespace qspr {
+
+FabricArtifacts::FabricArtifacts(const Fabric& source)
+    : fabric(source),
+      graph(fabric),
+      traps_near_center(fabric.traps_by_distance(fabric.center())) {
+  trap_port_count.reserve(fabric.trap_count());
+  for (const Trap& trap : fabric.traps()) {
+    trap_port_count.push_back(static_cast<int>(trap.ports.size()));
+  }
+}
+
+std::uint64_t fabric_fingerprint(const Fabric& fabric) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xffULL;
+      hash *= 1099511628211ULL;  // FNV-1a prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(fabric.rows()));
+  mix(static_cast<std::uint64_t>(fabric.cols()));
+  for (int row = 0; row < fabric.rows(); ++row) {
+    for (int col = 0; col < fabric.cols(); ++col) {
+      hash ^= static_cast<std::uint64_t>(fabric.cell({row, col}));
+      hash *= 1099511628211ULL;
+    }
+  }
+  return hash;
+}
+
+bool same_fabric_layout(const Fabric& a, const Fabric& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (int row = 0; row < a.rows(); ++row) {
+    for (int col = 0; col < a.cols(); ++col) {
+      if (a.cell({row, col}) != b.cell({row, col})) return false;
+    }
+  }
+  return true;
+}
+
+std::shared_ptr<const FabricArtifacts> FabricArtifactCache::get(
+    const Fabric& fabric) {
+  const std::uint64_t key = fabric_fingerprint(fabric);
+  const auto find_in_bucket =
+      [&fabric](const std::vector<std::shared_ptr<const FabricArtifacts>>&
+                    bucket) -> std::shared_ptr<const FabricArtifacts> {
+    for (const auto& entry : bucket) {
+      if (same_fabric_layout(entry->fabric, fabric)) return entry;
+    }
+    return nullptr;
+  };
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      if (auto entry = find_in_bucket(it->second)) {
+        ++stats_.hits;
+        return entry;
+      }
+    }
+  }
+  // Build outside the lock: artifact construction (CSR packing) is the
+  // expensive part and must not serialize unrelated lookups. A concurrent
+  // first-sight of the same layout may build twice; the first insert wins.
+  auto built = std::make_shared<const FabricArtifacts>(fabric);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = entries_[key];
+  if (auto entry = find_in_bucket(bucket)) {
+    ++stats_.hits;
+    return entry;
+  }
+  ++stats_.builds;
+  bucket.push_back(std::move(built));
+  return bucket.back();
+}
+
+FabricArtifactCache::Stats FabricArtifactCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t FabricArtifactCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : entries_) total += bucket.size();
+  return total;
+}
+
+void FabricArtifactCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace qspr

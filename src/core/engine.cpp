@@ -1,0 +1,286 @@
+#include "core/engine.hpp"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stopwatch.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/mvfb.hpp"
+#include "core/placer.hpp"
+#include "core/scheduler.hpp"
+#include "route/pathfinder.hpp"
+
+namespace qspr {
+
+namespace {
+
+/// Trap-to-trap relocations of a control trace: per (instruction, operand)
+/// the trap it departed and the trap it arrived in. Ops of one operand are
+/// chronological within the trace, so first move's `from` / last move's `to`
+/// bracket the relocation.
+std::vector<NetRequest> relocation_nets(const Trace& trace,
+                                        const Fabric& fabric) {
+  std::map<std::pair<std::int32_t, std::int32_t>,
+           std::pair<Position, Position>>
+      spans;
+  std::vector<std::pair<std::int32_t, std::int32_t>> order;
+  for (const MicroOp& op : trace.ops()) {
+    if (op.kind != MicroOpKind::Move) continue;
+    const auto key = std::make_pair(op.instruction.value(), op.qubit.value());
+    const auto [it, inserted] =
+        spans.try_emplace(key, std::make_pair(op.from, op.to));
+    if (inserted) {
+      order.push_back(key);
+    } else {
+      it->second.second = op.to;
+    }
+  }
+  std::vector<NetRequest> nets;
+  for (const auto& key : order) {
+    const auto& [begin, end] = spans.at(key);
+    const TrapId from = fabric.trap_at(begin);
+    const TrapId to = fabric.trap_at(end);
+    if (from.is_valid() && to.is_valid() && from != to) {
+      nets.push_back({from, to});
+    }
+  }
+  return nets;
+}
+
+NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
+                                            const TechnologyParams& tech,
+                                            const Trace& trace) {
+  NegotiationDiagnostics diagnostics;
+  const std::vector<NetRequest> nets =
+      relocation_nets(trace, routing_graph.fabric());
+  diagnostics.nets = static_cast<int>(nets.size());
+  if (nets.empty()) {
+    diagnostics.converged = true;
+    return diagnostics;
+  }
+  const PathFinderResult negotiated =
+      route_nets_negotiated(routing_graph, tech, nets);
+  diagnostics.iterations_used = negotiated.iterations_used;
+  diagnostics.converged = negotiated.converged;
+  diagnostics.overused_resources = negotiated.overused_resources;
+  diagnostics.max_overuse = negotiated.max_overuse;
+  diagnostics.total_excess = negotiated.total_excess;
+  diagnostics.min_feasible_excess = negotiated.min_feasible_excess;
+  diagnostics.searches_performed = negotiated.searches_performed;
+  diagnostics.total_delay = negotiated.total_delay;
+  return diagnostics;
+}
+
+}  // namespace
+
+/// One staged job. Heap-held behind PendingMap so every address the
+/// submitted trial bodies capture (QIDG, rank, simulators) stays stable
+/// while the handle moves around.
+struct MappingEngine::PendingState {
+  enum class Flow : std::uint8_t { Ideal, Single, MonteCarlo, Mvfb };
+
+  MapJob job;
+  Stopwatch stopwatch;
+  std::shared_ptr<const FabricArtifacts> artifacts;
+  DependencyGraph qidg;
+  ExecutionOptions exec;
+  std::vector<int> rank;
+  /// Pre-filled by begin() (kind, jobs, ideal latency); completed by
+  /// finish().
+  MapResult result;
+  Flow flow = Flow::Ideal;
+
+  // Flow::Mvfb
+  std::unique_ptr<MvfbPlacer> mvfb;
+  MvfbPlacer::AsyncRun mvfb_run;
+  // Flow::MonteCarlo
+  MonteCarloRun mc_run;
+  // Flow::Single — one execution submitted as a 1-index job.
+  struct SingleState {
+    Placement initial;
+    ExecutionResult execution;
+    double trial_cpu_ms = 0.0;
+  };
+  std::shared_ptr<SingleState> single;
+  Executor::Job single_job;
+
+  Executor* executor = nullptr;
+  bool collected = false;
+
+  ~PendingState() {
+    if (collected || executor == nullptr) return;
+    // Drain an abandoned job so the trial bodies' captures (which point
+    // into this object) cannot outlive it. Failures were never collected;
+    // swallow them.
+    try {
+      if (mvfb_run.valid()) executor->wait(mvfb_run.job());
+      if (mc_run.valid()) executor->wait(mc_run.job());
+      if (single_job.valid()) executor->wait(single_job);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+  }
+};
+
+MappingEngine::PendingMap::PendingMap() = default;
+MappingEngine::PendingMap::PendingMap(PendingMap&&) noexcept = default;
+MappingEngine::PendingMap& MappingEngine::PendingMap::operator=(
+    PendingMap&&) noexcept = default;
+MappingEngine::PendingMap::~PendingMap() = default;
+
+const std::string& MappingEngine::PendingMap::name() const {
+  require(state_ != nullptr, "name() needs a staged job");
+  return state_->job.name;
+}
+
+MappingEngine::MappingEngine(int workers) : executor_(workers) {}
+MappingEngine::~MappingEngine() = default;
+
+int MappingEngine::worker_count() const { return executor_.worker_count(); }
+Executor& MappingEngine::executor() { return executor_; }
+FabricArtifactCache& MappingEngine::artifacts() { return cache_; }
+
+MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
+  require(job.program != nullptr && job.fabric != nullptr,
+          "MapJob needs a program and a fabric");
+  const MapperOptions& options = job.options;
+
+  auto state = std::make_unique<PendingState>();
+  state->executor = &executor_;
+  state->job = job;
+  state->qidg = DependencyGraph::build(*job.program);
+
+  MapResult& result = state->result;
+  result.kind = options.kind;
+  result.jobs = executor_.worker_count();
+  result.ideal_latency = state->qidg.critical_path_latency(options.tech);
+
+  PendingMap pending;
+  if (options.kind == MapperKind::IdealBaseline) {
+    // The ideal bound needs no routing artifacts at all — don't build any.
+    state->flow = PendingState::Flow::Ideal;
+    result.latency = result.ideal_latency;
+    result.placement_runs = 0;
+    pending.state_ = std::move(state);
+    return pending;
+  }
+
+  state->artifacts = cache_.get(*job.fabric);
+  const FabricArtifacts& artifacts = *state->artifacts;
+  state->exec = execution_options_for(options);
+  state->rank = make_schedule_rank(state->qidg, state->exec.tech,
+                                   schedule_options_for(options));
+
+  if (options.kind != MapperKind::Qspr ||
+      options.placer == PlacerKind::Center) {
+    // Single-placement flows: QUALE / QPOS (center placement, §I) or a QSPR
+    // ablation with the center placer.
+    state->flow = PendingState::Flow::Single;
+    state->single = std::make_shared<PendingState::SingleState>();
+    state->single->initial = center_placement_from(
+        artifacts.traps_near_center, job.program->qubit_count());
+    state->single_job = executor_.submit(
+        1, [s = state.get(), keep = state->artifacts](std::size_t, int) {
+          const ThreadCpuTimer watch;
+          s->single->execution =
+              execute_circuit(s->qidg, keep->fabric, keep->graph, s->rank,
+                              s->single->initial, s->exec);
+          s->single->trial_cpu_ms = watch.elapsed_ms();
+        });
+  } else if (options.placer == PlacerKind::MonteCarlo) {
+    state->flow = PendingState::Flow::MonteCarlo;
+    state->mc_run = monte_carlo_submit(
+        state->qidg, artifacts.fabric, artifacts.graph, state->rank,
+        state->exec, options.monte_carlo_trials, options.rng_seed, executor_,
+        &artifacts.traps_near_center);
+  } else {
+    state->flow = PendingState::Flow::Mvfb;
+    state->mvfb = std::make_unique<MvfbPlacer>(
+        state->qidg, artifacts.fabric, artifacts.graph, state->rank,
+        state->exec,
+        MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed,
+                    executor_.worker_count()},
+        &artifacts.traps_near_center);
+    state->mvfb_run = state->mvfb->submit(executor_);
+  }
+  pending.state_ = std::move(state);
+  return pending;
+}
+
+MapResult MappingEngine::finish(PendingMap pending) {
+  require(pending.valid(), "finish() needs a staged job");
+  PendingState& state = *pending.state_;
+  require(!state.collected, "finish() called twice on one job");
+  state.collected = true;
+  MapResult result = std::move(state.result);
+
+  const auto finish_single = [&](const Placement& initial,
+                                 ExecutionResult&& execution) {
+    result.latency = execution.latency;
+    result.trace = std::move(execution.trace);
+    result.initial_placement = initial;
+    result.final_placement = std::move(execution.final_placement);
+    result.stats = execution.stats;
+    result.timings = std::move(execution.timings);
+  };
+
+  switch (state.flow) {
+    case PendingState::Flow::Ideal:
+      break;
+    case PendingState::Flow::Single: {
+      executor_.wait(state.single_job);
+      result.trial_cpu_ms = state.single->trial_cpu_ms;
+      finish_single(state.single->initial,
+                    std::move(state.single->execution));
+      result.placement_runs = 1;
+      break;
+    }
+    case PendingState::Flow::MonteCarlo: {
+      MonteCarloResult mc = monte_carlo_collect(executor_, state.mc_run);
+      result.trial_cpu_ms = mc.trial_cpu_ms;
+      finish_single(mc.best_initial_placement, std::move(mc.best_execution));
+      result.placement_runs = mc.trials;
+      break;
+    }
+    case PendingState::Flow::Mvfb: {
+      MvfbResult mvfb = state.mvfb->collect(executor_, state.mvfb_run);
+      result.trial_cpu_ms = mvfb.trial_cpu_ms;
+      result.latency = mvfb.best_latency;
+      result.trace = std::move(mvfb.best_trace);
+      result.initial_placement = std::move(mvfb.best_initial_placement);
+      // For a backward winner the reported (time-reversed) execution ends
+      // where the backward run began.
+      result.final_placement = mvfb.best_is_backward
+                                   ? mvfb.best_execution.initial_placement
+                                   : mvfb.best_execution.final_placement;
+      result.stats = mvfb.best_execution.stats;
+      result.timings = std::move(mvfb.best_execution.timings);
+      result.placement_runs = mvfb.total_runs;
+      break;
+    }
+  }
+
+  // Stop the clock before the optional diagnostic: cpu_ms reports the
+  // mapping itself, and must not depend on whether a report was requested.
+  // Under a shared executor this is wall time from begin() to finish(), so
+  // it includes time spent interleaved with other jobs' trials.
+  result.cpu_ms = state.stopwatch.elapsed_ms();
+  if (state.job.options.negotiation_report && result.trace.size() > 0) {
+    result.negotiation = diagnose_negotiation(
+        state.artifacts->graph, state.exec.tech, result.trace);
+  }
+  return result;
+}
+
+MapResult MappingEngine::map(const Program& program, const Fabric& fabric,
+                             const MapperOptions& options) {
+  MapJob job;
+  job.program = &program;
+  job.fabric = &fabric;
+  job.options = options;
+  job.name = program.name();
+  return finish(begin(job));
+}
+
+}  // namespace qspr

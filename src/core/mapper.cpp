@@ -1,78 +1,11 @@
 #include "core/mapper.hpp"
 
-#include <map>
-#include <utility>
+#include <algorithm>
 
 #include "common/error.hpp"
-#include "common/stopwatch.hpp"
-#include "core/monte_carlo.hpp"
-#include "core/mvfb.hpp"
-#include "core/placer.hpp"
-#include "route/pathfinder.hpp"
-#include "route/routing_graph.hpp"
+#include "core/engine.hpp"
 
 namespace qspr {
-
-namespace {
-
-/// Trap-to-trap relocations of a control trace: per (instruction, operand)
-/// the trap it departed and the trap it arrived in. Ops of one operand are
-/// chronological within the trace, so first move's `from` / last move's `to`
-/// bracket the relocation.
-std::vector<NetRequest> relocation_nets(const Trace& trace,
-                                        const Fabric& fabric) {
-  std::map<std::pair<std::int32_t, std::int32_t>,
-           std::pair<Position, Position>>
-      spans;
-  std::vector<std::pair<std::int32_t, std::int32_t>> order;
-  for (const MicroOp& op : trace.ops()) {
-    if (op.kind != MicroOpKind::Move) continue;
-    const auto key = std::make_pair(op.instruction.value(), op.qubit.value());
-    const auto [it, inserted] =
-        spans.try_emplace(key, std::make_pair(op.from, op.to));
-    if (inserted) {
-      order.push_back(key);
-    } else {
-      it->second.second = op.to;
-    }
-  }
-  std::vector<NetRequest> nets;
-  for (const auto& key : order) {
-    const auto& [begin, end] = spans.at(key);
-    const TrapId from = fabric.trap_at(begin);
-    const TrapId to = fabric.trap_at(end);
-    if (from.is_valid() && to.is_valid() && from != to) {
-      nets.push_back({from, to});
-    }
-  }
-  return nets;
-}
-
-NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
-                                            const TechnologyParams& tech,
-                                            const Trace& trace) {
-  NegotiationDiagnostics diagnostics;
-  const std::vector<NetRequest> nets =
-      relocation_nets(trace, routing_graph.fabric());
-  diagnostics.nets = static_cast<int>(nets.size());
-  if (nets.empty()) {
-    diagnostics.converged = true;
-    return diagnostics;
-  }
-  const PathFinderResult negotiated =
-      route_nets_negotiated(routing_graph, tech, nets);
-  diagnostics.iterations_used = negotiated.iterations_used;
-  diagnostics.converged = negotiated.converged;
-  diagnostics.overused_resources = negotiated.overused_resources;
-  diagnostics.max_overuse = negotiated.max_overuse;
-  diagnostics.total_excess = negotiated.total_excess;
-  diagnostics.min_feasible_excess = negotiated.min_feasible_excess;
-  diagnostics.searches_performed = negotiated.searches_performed;
-  diagnostics.total_delay = negotiated.total_delay;
-  return diagnostics;
-}
-
-}  // namespace
 
 std::string to_string(MapperKind kind) {
   switch (kind) {
@@ -82,6 +15,21 @@ std::string to_string(MapperKind kind) {
     case MapperKind::IdealBaseline: return "Baseline";
   }
   return "?";
+}
+
+std::optional<MapperKind> mapper_kind_from_name(std::string_view name) {
+  if (name == "qspr") return MapperKind::Qspr;
+  if (name == "quale") return MapperKind::Quale;
+  if (name == "qpos") return MapperKind::Qpos;
+  if (name == "baseline") return MapperKind::IdealBaseline;
+  return std::nullopt;
+}
+
+std::optional<PlacerKind> placer_kind_from_name(std::string_view name) {
+  if (name == "mvfb") return PlacerKind::Mvfb;
+  if (name == "mc") return PlacerKind::MonteCarlo;
+  if (name == "center") return PlacerKind::Center;
+  return std::nullopt;
 }
 
 ExecutionOptions execution_options_for(const MapperOptions& options) {
@@ -149,80 +97,26 @@ ScheduleOptions schedule_options_for(const MapperOptions& options) {
 
 MapResult map_program(const Program& program, const Fabric& fabric,
                       const MapperOptions& options) {
-  const Stopwatch stopwatch;
   require(options.jobs >= 1, "mapper needs at least one worker (jobs >= 1)");
-  const DependencyGraph qidg = DependencyGraph::build(program);
-
-  MapResult result;
-  result.kind = options.kind;
+  // One-shot engine sized to what this job can actually use: trial-parallel
+  // flows get min(jobs, trials) workers, single-placement flows stay on the
+  // calling thread. Callers mapping many programs should hold a
+  // MappingEngine instead and let jobs share its executor and fabric
+  // artifact cache.
+  int workers = 1;
+  if (options.kind == MapperKind::Qspr) {
+    if (options.placer == PlacerKind::MonteCarlo) {
+      workers = std::min(options.jobs,
+                         std::max(1, options.monte_carlo_trials));
+    } else if (options.placer == PlacerKind::Mvfb) {
+      workers = std::min(options.jobs, std::max(1, options.mvfb_seeds));
+    }
+  }
+  MappingEngine engine(workers);
+  MapResult result = engine.map(program, fabric, options);
+  // Report the worker budget the caller asked for, as before, not the
+  // clamped engine size.
   result.jobs = options.jobs;
-  result.ideal_latency = qidg.critical_path_latency(options.tech);
-
-  if (options.kind == MapperKind::IdealBaseline) {
-    result.latency = result.ideal_latency;
-    result.placement_runs = 0;
-    result.cpu_ms = stopwatch.elapsed_ms();
-    return result;
-  }
-
-  const RoutingGraph routing_graph(fabric);
-  const ExecutionOptions exec = execution_options_for(options);
-  const std::vector<int> rank =
-      make_schedule_rank(qidg, exec.tech, schedule_options_for(options));
-
-  const auto finish_single = [&](const Placement& initial,
-                                 ExecutionResult&& execution) {
-    result.latency = execution.latency;
-    result.trace = std::move(execution.trace);
-    result.initial_placement = initial;
-    result.final_placement = std::move(execution.final_placement);
-    result.stats = execution.stats;
-    result.timings = std::move(execution.timings);
-  };
-
-  if (options.kind != MapperKind::Qspr || options.placer == PlacerKind::Center) {
-    // Single-placement flows: QUALE / QPOS (center placement, §I) or a QSPR
-    // ablation with the center placer.
-    const Placement initial = center_placement(fabric, program.qubit_count());
-    const ThreadCpuTimer trial_watch;
-    ExecutionResult execution = execute_circuit(qidg, fabric, routing_graph,
-                                                rank, initial, exec);
-    result.trial_cpu_ms = trial_watch.elapsed_ms();
-    finish_single(initial, std::move(execution));
-    result.placement_runs = 1;
-  } else if (options.placer == PlacerKind::MonteCarlo) {
-    MonteCarloResult mc = monte_carlo_place_and_execute(
-        qidg, fabric, routing_graph, rank, exec, options.monte_carlo_trials,
-        options.rng_seed, options.jobs);
-    result.trial_cpu_ms = mc.trial_cpu_ms;
-    finish_single(mc.best_initial_placement, std::move(mc.best_execution));
-    result.placement_runs = mc.trials;
-  } else {
-    MvfbPlacer placer(qidg, fabric, routing_graph, rank, exec,
-                      MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed,
-                                  options.jobs});
-    MvfbResult mvfb = placer.place_and_execute();
-    result.trial_cpu_ms = mvfb.trial_cpu_ms;
-    result.latency = mvfb.best_latency;
-    result.trace = std::move(mvfb.best_trace);
-    result.initial_placement = std::move(mvfb.best_initial_placement);
-    // For a backward winner the reported (time-reversed) execution ends where
-    // the backward run began.
-    result.final_placement = mvfb.best_is_backward
-                                 ? mvfb.best_execution.initial_placement
-                                 : mvfb.best_execution.final_placement;
-    result.stats = mvfb.best_execution.stats;
-    result.timings = std::move(mvfb.best_execution.timings);
-    result.placement_runs = mvfb.total_runs;
-  }
-
-  // Stop the clock before the optional diagnostic: cpu_ms reports the
-  // mapping itself, and must not depend on whether a report was requested.
-  result.cpu_ms = stopwatch.elapsed_ms();
-  if (options.negotiation_report && result.trace.size() > 0) {
-    result.negotiation =
-        diagnose_negotiation(routing_graph, exec.tech, result.trace);
-  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "circuit/program.hpp"
 #include "core/scheduler.hpp"
@@ -114,6 +115,13 @@ MapResult map_program(const Program& program, const Fabric& fabric,
                       const MapperOptions& options = {});
 
 [[nodiscard]] std::string to_string(MapperKind kind);
+
+/// CLI-name parsers shared by qspr_map and qspr_batch: "qspr" | "quale" |
+/// "qpos" | "baseline", and "mvfb" | "mc" | "center". nullopt when unknown.
+[[nodiscard]] std::optional<MapperKind> mapper_kind_from_name(
+    std::string_view name);
+[[nodiscard]] std::optional<PlacerKind> placer_kind_from_name(
+    std::string_view name);
 
 /// The execution options (routing/physics policy) a mapper kind implies,
 /// after applying the ablation overrides.

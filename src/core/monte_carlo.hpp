@@ -4,12 +4,17 @@
 // Table 1.
 //
 // Trials are independent by construction (per-trial RNGs are forked up front
-// by trial index), so they evaluate on `jobs` workers with bit-identical
-// results at any worker count: the winner is the (latency, trial index)
-// minimum.
+// by trial index), so they evaluate on any worker set with bit-identical
+// results: the winner is the (latency, trial index) minimum. The trial loop
+// runs on an Executor — a private one for the classic blocking entry point,
+// or a shared one via the Executor& overload and the submit/collect pair the
+// batch service pipelines jobs through.
 #pragma once
 
+#include <memory>
+
 #include "circuit/dependency_graph.hpp"
+#include "common/executor.hpp"
 #include "sim/event_sim.hpp"
 
 namespace qspr {
@@ -23,8 +28,57 @@ struct MonteCarloResult {
   double trial_cpu_ms = 0.0;
 };
 
-/// Executes `trials` random center placements on `jobs` workers and keeps
-/// the best. Deterministic for a fixed rng_seed at any job count.
+/// In-flight Monte-Carlo trial loop on a shared executor: owns the simulator
+/// and all per-worker scratch, so the inputs passed to monte_carlo_submit
+/// (graphs, rank, options) only need to outlive the run itself.
+class MonteCarloRun {
+ public:
+  MonteCarloRun();
+  MonteCarloRun(MonteCarloRun&&) noexcept;
+  MonteCarloRun& operator=(MonteCarloRun&&) noexcept;
+  ~MonteCarloRun();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  /// Executor handle of the submitted trial loop (for drains/diagnostics;
+  /// normal completion goes through monte_carlo_collect).
+  [[nodiscard]] const Executor::Job& job() const { return job_; }
+
+ private:
+  friend MonteCarloRun monte_carlo_submit(
+      const DependencyGraph& qidg, const Fabric& fabric,
+      const RoutingGraph& routing_graph, const std::vector<int>& rank,
+      const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
+      Executor& executor, const std::vector<TrapId>* traps_near_center);
+  friend MonteCarloResult monte_carlo_collect(Executor& executor,
+                                              MonteCarloRun& run);
+  std::shared_ptr<struct MonteCarloState> state_;
+  Executor::Job job_;
+};
+
+/// Submits `trials` random center placements as one job on `executor`
+/// (non-blocking). `traps_near_center` (optional) is a precomputed
+/// traps-by-center table that must outlive the run; when null the run
+/// derives its own once.
+[[nodiscard]] MonteCarloRun monte_carlo_submit(
+    const DependencyGraph& qidg, const Fabric& fabric,
+    const RoutingGraph& routing_graph, const std::vector<int>& rank,
+    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
+    Executor& executor, const std::vector<TrapId>* traps_near_center = nullptr);
+
+/// Waits for the submitted trials and merges the winner deterministically by
+/// (latency, trial index). Rethrows the lowest-trial-index failure, if any.
+MonteCarloResult monte_carlo_collect(Executor& executor, MonteCarloRun& run);
+
+/// Blocking trial loop on a shared executor (submit + collect).
+MonteCarloResult monte_carlo_place_and_execute(
+    const DependencyGraph& qidg, const Fabric& fabric,
+    const RoutingGraph& routing_graph, const std::vector<int>& rank,
+    const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
+    Executor& executor, const std::vector<TrapId>* traps_near_center = nullptr);
+
+/// Executes `trials` random center placements on a private executor of
+/// min(jobs, trials) workers and keeps the best. Deterministic for a fixed
+/// rng_seed at any job count.
 MonteCarloResult monte_carlo_place_and_execute(
     const DependencyGraph& qidg, const Fabric& fabric,
     const RoutingGraph& routing_graph, const std::vector<int>& rank,

@@ -13,13 +13,21 @@
 // seed with the lowest latency, ties broken by seed index, so the result is
 // bit-identical at any worker count).
 //
+// The seed loop runs on an Executor. place_and_execute() spawns a private
+// one (the original single-job shape); the Executor& overloads and the
+// submit/collect pair run the seeds as one job on a *shared* executor, so a
+// batch service can interleave many placers' seeds on one worker set.
+//
 // One "placement run" is a single forward or backward execution; one
 // "iteration" is a forward+backward pair. The paper's Table 1 budgets the
 // Monte Carlo baseline at twice the number of MVFB iterations, i.e. the same
 // number of placement runs.
 #pragma once
 
+#include <memory>
+
 #include "circuit/dependency_graph.hpp"
+#include "common/executor.hpp"
 #include "common/rng.hpp"
 #include "core/scheduler.hpp"
 #include "sim/event_sim.hpp"
@@ -35,9 +43,11 @@ struct MvfbOptions {
   /// Safety bound on runs per seed (far above what the stop rule reaches).
   int max_runs_per_seed = 64;
   std::uint64_t rng_seed = 1;
-  /// Worker threads evaluating seeds concurrently. Results are bit-identical
-  /// at any value: per-seed RNGs are forked up front by seed index and the
-  /// winner is the (latency, seed index) minimum.
+  /// Worker threads of the private executor spawned by the no-argument
+  /// place_and_execute(). The Executor& overloads use the shared executor's
+  /// workers instead. Results are bit-identical at any value: per-seed RNGs
+  /// are forked up front by seed index and the winner is the
+  /// (latency, seed index) minimum.
   int jobs = 1;
 };
 
@@ -62,14 +72,51 @@ struct MvfbResult {
 };
 
 class MvfbPlacer {
+  struct AsyncState;  // in-flight seed-loop state, defined in mvfb.cpp
+
  public:
   /// `rank` is the QIDG issue priority (S); the backward rank S* is derived.
+  /// `traps_near_center` (optional) is a precomputed traps-by-center table
+  /// (FabricArtifacts::traps_near_center) that must outlive the placer; when
+  /// null the placer derives its own once.
   MvfbPlacer(const DependencyGraph& qidg, const Fabric& fabric,
              const RoutingGraph& routing_graph, std::vector<int> rank,
-             ExecutionOptions exec_options, MvfbOptions options);
+             ExecutionOptions exec_options, MvfbOptions options,
+             const std::vector<TrapId>* traps_near_center = nullptr);
 
-  /// Runs the full multi-start search, evaluating seeds on `options.jobs`
-  /// workers. Deterministic for a fixed rng_seed at any job count.
+  /// In-flight seed loop on a shared executor; created by submit(), finished
+  /// by collect(). The placer must outlive the run.
+  class AsyncRun {
+   public:
+    AsyncRun();
+    AsyncRun(AsyncRun&&) noexcept;
+    AsyncRun& operator=(AsyncRun&&) noexcept;
+    ~AsyncRun();
+
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+    /// Executor handle of the submitted seed loop (for drains/diagnostics;
+    /// normal completion goes through MvfbPlacer::collect).
+    [[nodiscard]] const Executor::Job& job() const { return job_; }
+
+   private:
+    friend class MvfbPlacer;
+    std::shared_ptr<AsyncState> state_;
+    Executor::Job job_;
+  };
+
+  /// Submits the seed loop as one job on `executor` (non-blocking).
+  [[nodiscard]] AsyncRun submit(Executor& executor);
+
+  /// Waits for the submitted seeds and merges the winner deterministically.
+  /// Rethrows the lowest-seed-index failure of this run, if any.
+  MvfbResult collect(Executor& executor, AsyncRun& run);
+
+  /// Runs the full multi-start search on a shared executor (submit+collect).
+  MvfbResult place_and_execute(Executor& executor);
+
+  /// Runs the full multi-start search on a private executor of
+  /// min(options.jobs, options.seeds) workers. Deterministic for a fixed
+  /// rng_seed at any job count.
   MvfbResult place_and_execute();
 
  private:
@@ -92,6 +139,9 @@ class MvfbPlacer {
   MvfbOptions options_;
   EventSimulator forward_sim_;
   EventSimulator backward_sim_;
+  /// Borrowed placement table, or &owned_traps_near_center_.
+  const std::vector<TrapId>* traps_near_center_;
+  std::vector<TrapId> owned_traps_near_center_;
 };
 
 }  // namespace qspr

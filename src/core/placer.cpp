@@ -8,36 +8,48 @@ namespace qspr {
 
 namespace {
 
-std::vector<TrapId> nearest_center_traps(const Fabric& fabric,
-                                         std::size_t qubit_count) {
-  if (fabric.trap_count() < qubit_count) {
+std::vector<TrapId> nearest_traps_prefix(
+    const std::vector<TrapId>& traps_near_center, std::size_t qubit_count) {
+  if (traps_near_center.size() < qubit_count) {
     throw ValidationError("fabric has fewer traps than circuit qubits");
   }
-  std::vector<TrapId> traps = fabric.traps_by_distance(fabric.center());
-  traps.resize(qubit_count);
-  return traps;
+  return {traps_near_center.begin(),
+          traps_near_center.begin() + static_cast<std::ptrdiff_t>(qubit_count)};
+}
+
+Placement place_on(const std::vector<TrapId>& traps) {
+  Placement placement(traps.size());
+  for (std::size_t q = 0; q < traps.size(); ++q) {
+    placement.set(QubitId::from_index(q), traps[q]);
+  }
+  return placement;
 }
 
 }  // namespace
 
 Placement center_placement(const Fabric& fabric, std::size_t qubit_count) {
-  const std::vector<TrapId> traps = nearest_center_traps(fabric, qubit_count);
-  Placement placement(qubit_count);
-  for (std::size_t q = 0; q < qubit_count; ++q) {
-    placement.set(QubitId::from_index(q), traps[q]);
-  }
-  return placement;
+  return center_placement_from(fabric.traps_by_distance(fabric.center()),
+                               qubit_count);
 }
 
 Placement random_center_placement(const Fabric& fabric,
                                   std::size_t qubit_count, Rng& rng) {
-  std::vector<TrapId> traps = nearest_center_traps(fabric, qubit_count);
+  return random_center_placement_from(
+      fabric.traps_by_distance(fabric.center()), qubit_count, rng);
+}
+
+Placement center_placement_from(const std::vector<TrapId>& traps_near_center,
+                                std::size_t qubit_count) {
+  return place_on(nearest_traps_prefix(traps_near_center, qubit_count));
+}
+
+Placement random_center_placement_from(
+    const std::vector<TrapId>& traps_near_center, std::size_t qubit_count,
+    Rng& rng) {
+  std::vector<TrapId> traps =
+      nearest_traps_prefix(traps_near_center, qubit_count);
   rng.shuffle(traps);
-  Placement placement(qubit_count);
-  for (std::size_t q = 0; q < qubit_count; ++q) {
-    placement.set(QubitId::from_index(q), traps[q]);
-  }
-  return placement;
+  return place_on(traps);
 }
 
 }  // namespace qspr

@@ -4,6 +4,11 @@
 // center (QUALE's placer). Its randomised variant — a random permutation of
 // the qubits over those same nearest-center traps — seeds both the Monte
 // Carlo placer and each MVFB multi-start.
+//
+// The `_from` overloads draw from a precomputed traps-by-distance table
+// (FabricArtifacts::traps_near_center, or any fabric.traps_by_distance
+// result) so trial loops stop re-sorting the trap list on every placement;
+// results are bit-identical to the table-free versions.
 #pragma once
 
 #include "common/rng.hpp"
@@ -21,5 +26,16 @@ Placement center_placement(const Fabric& fabric, std::size_t qubit_count);
 /// the `qubit_count` nearest-center traps.
 Placement random_center_placement(const Fabric& fabric,
                                   std::size_t qubit_count, Rng& rng);
+
+/// As center_placement, over a precomputed traps-by-center-distance table.
+/// Throws ValidationError when the table has fewer traps than qubits.
+Placement center_placement_from(const std::vector<TrapId>& traps_near_center,
+                                std::size_t qubit_count);
+
+/// As random_center_placement, over a precomputed table. Bit-identical to
+/// the table-free version for the same Rng state.
+Placement random_center_placement_from(
+    const std::vector<TrapId>& traps_near_center, std::size_t qubit_count,
+    Rng& rng);
 
 }  // namespace qspr

@@ -15,14 +15,18 @@
 #include "circuit/program.hpp"           // IWYU pragma: export
 #include "circuit/transform.hpp"         // IWYU pragma: export
 #include "common/error.hpp"              // IWYU pragma: export
+#include "common/executor.hpp"           // IWYU pragma: export
 #include "common/geometry.hpp"           // IWYU pragma: export
 #include "common/ids.hpp"                // IWYU pragma: export
+#include "common/json.hpp"               // IWYU pragma: export
 #include "common/rng.hpp"                // IWYU pragma: export
 #include "common/stats.hpp"              // IWYU pragma: export
 #include "common/stopwatch.hpp"          // IWYU pragma: export
 #include "common/table.hpp"              // IWYU pragma: export
 #include "common/time.hpp"               // IWYU pragma: export
+#include "core/artifact_cache.hpp"       // IWYU pragma: export
 #include "core/connectivity_placer.hpp"  // IWYU pragma: export
+#include "core/engine.hpp"               // IWYU pragma: export
 #include "core/error_model.hpp"          // IWYU pragma: export
 #include "core/mapper.hpp"               // IWYU pragma: export
 #include "core/monte_carlo.hpp"          // IWYU pragma: export

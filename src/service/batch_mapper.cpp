@@ -1,0 +1,163 @@
+#include "service/batch_mapper.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/stopwatch.hpp"
+#include "qasm/parser.hpp"
+
+namespace qspr {
+
+BatchMapper::BatchMapper(MappingEngine& engine, BatchOptions options)
+    : engine_(&engine), options_(options) {
+  require(options_.max_in_flight >= 0,
+          "batch max_in_flight must be non-negative");
+}
+
+BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
+                             const RecordSink& sink) {
+  const Stopwatch watch;
+  const FabricArtifactCache::Stats cache_before =
+      engine_->artifacts().stats();
+
+  BatchResult batch;
+  batch.records.resize(manifest.size());
+
+  /// One staged job: the parsed program it owns (when loaded from disk) and
+  /// its in-flight trials.
+  struct InFlight {
+    std::size_t index = 0;
+    std::unique_ptr<Program> owned_program;
+    MappingEngine::PendingMap pending;
+  };
+  std::deque<InFlight> in_flight;
+  const std::size_t cap = static_cast<std::size_t>(
+      options_.max_in_flight > 0 ? options_.max_in_flight
+                                 : std::max(2, 2 * engine_->worker_count()));
+
+  const auto finalize_front = [&] {
+    InFlight entry = std::move(in_flight.front());
+    in_flight.pop_front();
+    BatchJobRecord& record = batch.records[entry.index];
+    try {
+      record.result = engine_->finish(std::move(entry.pending));
+      record.ok = true;
+      ++batch.summary.succeeded;
+      batch.summary.trial_cpu_ms += record.result.trial_cpu_ms;
+    } catch (const std::exception& e) {
+      record.ok = false;
+      record.error = e.what();
+      ++batch.summary.failed;
+    }
+    if (sink) sink(record);
+  };
+
+  for (std::size_t i = 0; i < manifest.size(); ++i) {
+    const BatchJob& job = manifest[i];
+    BatchJobRecord& record = batch.records[i];
+    record.name = job.name;
+
+    // Keep the pipeline bounded: finalize the oldest job first. Records
+    // therefore stream strictly in manifest order.
+    while (in_flight.size() >= cap) finalize_front();
+
+    InFlight entry;
+    entry.index = i;
+    try {
+      const Program* program = job.program;
+      if (program == nullptr) {
+        require(!job.qasm_path.empty(),
+                "batch job needs a program or a qasm_path");
+        entry.owned_program =
+            std::make_unique<Program>(parse_qasm_file(job.qasm_path));
+        program = entry.owned_program.get();
+      }
+      require(job.fabric != nullptr, "batch job needs a fabric");
+      record.qubits = program->qubit_count();
+      record.instructions = program->instruction_count();
+      if (record.name.empty()) record.name = program->name();
+
+      MapJob map_job;
+      map_job.program = program;
+      map_job.fabric = job.fabric;
+      map_job.options = job.options;
+      map_job.name = record.name;
+      entry.pending = engine_->begin(map_job);
+      in_flight.push_back(std::move(entry));
+    } catch (const std::exception& e) {
+      // Staging failures (unreadable/malformed QASM, bad manifest entry,
+      // infeasible setup) fail only this record.
+      record.ok = false;
+      record.error = e.what();
+      ++batch.summary.failed;
+      if (sink) sink(record);
+    }
+  }
+  while (!in_flight.empty()) finalize_front();
+
+  batch.summary.jobs = static_cast<int>(manifest.size());
+  batch.summary.workers = engine_->worker_count();
+  batch.summary.wall_ms = watch.elapsed_ms();
+  batch.summary.programs_per_sec =
+      batch.summary.wall_ms > 0.0
+          ? static_cast<double>(batch.summary.jobs) * 1000.0 /
+                batch.summary.wall_ms
+          : 0.0;
+  const FabricArtifactCache::Stats cache_after = engine_->artifacts().stats();
+  batch.summary.artifact_builds = cache_after.builds - cache_before.builds;
+  batch.summary.artifact_hits = cache_after.hits - cache_before.hits;
+  return batch;
+}
+
+std::string batch_record_json(const BatchJobRecord& record) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("name", record.name);
+  json.field("ok", record.ok);
+  if (!record.ok) {
+    json.field("error", record.error);
+  }
+  json.field("qubits", record.qubits);
+  json.field("instructions", record.instructions);
+  if (record.ok) {
+    const MapResult& result = record.result;
+    json.field("mapper", to_string(result.kind));
+    json.field("latency_us", static_cast<long long>(result.latency));
+    json.field("ideal_latency_us",
+               static_cast<long long>(result.ideal_latency));
+    json.field("routing_us",
+               static_cast<long long>(result.stats.total_routing));
+    json.field("congestion_us",
+               static_cast<long long>(result.stats.total_congestion));
+    json.field("moves", result.stats.moves);
+    json.field("turns", result.stats.turns);
+    json.field("placement_runs", result.placement_runs);
+    json.field("wall_ms", result.cpu_ms);
+    json.field("trial_cpu_ms", result.trial_cpu_ms);
+  }
+  json.end_object();
+  return json.str();
+}
+
+std::string batch_summary_json(const BatchSummary& summary) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("summary", true);
+  json.field("jobs", summary.jobs);
+  json.field("succeeded", summary.succeeded);
+  json.field("failed", summary.failed);
+  json.field("workers", summary.workers);
+  json.field("wall_ms", summary.wall_ms);
+  json.field("programs_per_sec", summary.programs_per_sec);
+  json.field("trial_cpu_ms", summary.trial_cpu_ms);
+  json.field("artifact_builds", summary.artifact_builds);
+  json.field("artifact_hits", summary.artifact_hits);
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace qspr

@@ -1,0 +1,115 @@
+// BatchMapper: the multi-program mapping service over a shared
+// MappingEngine.
+//
+// A manifest names many programs (inline or as QASM paths) to map against
+// few fabrics. The batch runs as a bounded pipeline: up to `max_in_flight`
+// jobs are staged at once, each with its placement trials submitted to the
+// engine's shared executor, which interleaves trials from different jobs
+// round-robin — so a large circuit in the manifest cannot starve the rest,
+// and the workers never idle across job boundaries. Per-fabric artifacts
+// (CSR routing graph, placement tables) come from the engine's cache, built
+// once per distinct fabric.
+//
+// Fault isolation: a malformed QASM file, an infeasible fabric, or any
+// other per-job failure marks only that job's record (ok = false plus the
+// diagnostic) — the batch, the process, and every other job are unaffected.
+// This rides on the executor's per-job error capture.
+//
+// Determinism: records are bit-identical to a sequential map_program loop
+// over the same manifest, at any worker count and in-flight depth, because
+// every job forks its trial RNGs up front by index and takes the
+// (latency, index) minimum.
+//
+// Results stream in manifest order as JSON-lines (one record per program,
+// one trailing summary) via batch_record_json / batch_summary_json, the
+// format qspr_batch emits and the bench harness ingests.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+
+namespace qspr {
+
+/// One manifest entry. Provide either `program` (borrowed; must outlive the
+/// run) or `qasm_path` (parsed when the job is staged, so a bad file fails
+/// only this job). `fabric` is borrowed and read only while the job is
+/// staged.
+struct BatchJob {
+  std::string name;
+  std::string qasm_path;
+  const Program* program = nullptr;
+  const Fabric* fabric = nullptr;
+  MapperOptions options;
+};
+
+/// Outcome of one manifest entry.
+struct BatchJobRecord {
+  std::string name;
+  bool ok = false;
+  /// Diagnostic when !ok (parse error, infeasible fabric, stalled
+  /// execution, ...).
+  std::string error;
+  std::size_t qubits = 0;
+  std::size_t instructions = 0;
+  /// Valid when ok.
+  MapResult result;
+};
+
+struct BatchOptions {
+  /// Jobs staged concurrently on the shared executor (trial interleaving
+  /// window and memory bound). 0 = auto: 2x the engine's workers, min 2.
+  int max_in_flight = 0;
+};
+
+/// Aggregate throughput accounting of one batch run.
+struct BatchSummary {
+  int jobs = 0;
+  int succeeded = 0;
+  int failed = 0;
+  int workers = 1;
+  double wall_ms = 0.0;
+  double programs_per_sec = 0.0;
+  /// Thread-CPU milliseconds inside placement trials, summed over jobs.
+  double trial_cpu_ms = 0.0;
+  /// Fabric artifact cache activity during this run: builds counts distinct
+  /// fabrics materialised, hits counts jobs served from a shared bundle.
+  long long artifact_builds = 0;
+  long long artifact_hits = 0;
+};
+
+struct BatchResult {
+  BatchSummary summary;
+  /// One record per manifest entry, in manifest order.
+  std::vector<BatchJobRecord> records;
+};
+
+class BatchMapper {
+ public:
+  /// The engine (its executor and artifact cache) is borrowed and may be
+  /// shared across successive batches.
+  explicit BatchMapper(MappingEngine& engine, BatchOptions options = {});
+
+  /// Called with each record, in manifest order, as it finalises.
+  using RecordSink = std::function<void(const BatchJobRecord&)>;
+
+  /// Maps every manifest entry. Never throws for per-job failures; those
+  /// land in the records. Throws only for batch-level misuse (e.g. a job
+  /// with neither program nor path... which is still captured per-job) or
+  /// failures of the sink itself.
+  BatchResult run(const std::vector<BatchJob>& manifest,
+                  const RecordSink& sink = {});
+
+ private:
+  MappingEngine* engine_;
+  BatchOptions options_;
+};
+
+/// One JSONL line (no trailing newline) for a record / the batch summary.
+[[nodiscard]] std::string batch_record_json(const BatchJobRecord& record);
+[[nodiscard]] std::string batch_summary_json(const BatchSummary& summary);
+
+}  // namespace qspr

@@ -1,0 +1,18 @@
+// The mixed-size batch corpus: one definition shared by the
+// batch_throughput bench suite, the batch_corpus example (which writes it
+// to .qasm files for qspr_batch), and the CI fault-isolation smoke — so
+// "the bench corpus" and "the smoke corpus" stay the same workload.
+#pragma once
+
+#include <vector>
+
+#include "circuit/program.hpp"
+
+namespace qspr {
+
+/// Deterministic mixed-size programs: QECC encoders plus named random
+/// circuits. `full` adds the larger members (Q9/Q14 encoders, the 12-qubit
+/// random circuit); the small set is what smoke runs use.
+[[nodiscard]] std::vector<Program> make_batch_corpus(bool full);
+
+}  // namespace qspr

@@ -3,7 +3,9 @@
 // trial index and the winner is the (latency, trial index) minimum, so
 // `--jobs 1` and `--jobs 4` must produce the same MapResult — latency,
 // full control trace, initial placement — for both the MVFB and the
-// Monte-Carlo flows. Also unit-tests the ThreadPool the flows run on.
+// Monte-Carlo flows. Also unit-tests the shared Executor the flows run on
+// (submit/wait, cross-job interleaving, per-job error capture) and its
+// blocking ThreadPool facade.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -11,6 +13,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/executor.hpp"
 #include "common/thread_pool.hpp"
 #include "core/mapper.hpp"
 #include "core/monte_carlo.hpp"
@@ -79,6 +82,96 @@ TEST(ThreadPool, PropagatesBodyExceptions) {
 
 TEST(ThreadPool, RejectsZeroWorkers) {
   EXPECT_THROW(ThreadPool(0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Executor: the submit/wait layer under the pool and the batch service
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorTest, SubmitThenWaitRunsEveryIndexOnce) {
+  Executor executor(4);
+  constexpr std::size_t kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  Executor::Job job =
+      executor.submit(kCount, [&](std::size_t index, int worker) {
+        ASSERT_GE(worker, 0);
+        ASSERT_LT(worker, 4);
+        hits[index].fetch_add(1, std::memory_order_relaxed);
+      });
+  executor.wait(job);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecutorTest, MultipleJobsInFlightAllComplete) {
+  Executor executor(3);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  std::atomic<int> c{0};
+  Executor::Job job_a =
+      executor.submit(50, [&](std::size_t, int) { a.fetch_add(1); });
+  Executor::Job job_b =
+      executor.submit(30, [&](std::size_t, int) { b.fetch_add(1); });
+  Executor::Job job_c =
+      executor.submit(0, [&](std::size_t, int) { c.fetch_add(1); });
+  // Waiting out of submission order must be fine: jobs progress
+  // independently on the shared workers.
+  executor.wait(job_b);
+  EXPECT_EQ(b.load(), 30);
+  executor.wait(job_a);
+  executor.wait(job_c);
+  EXPECT_EQ(a.load(), 50);
+  EXPECT_EQ(c.load(), 0);
+}
+
+TEST(ExecutorTest, PerJobErrorCaptureLeavesOtherJobsUnharmed) {
+  Executor executor(4);
+  std::atomic<int> healthy{0};
+  Executor::Job failing =
+      executor.submit(40, [&](std::size_t index, int) {
+        if (index % 2 == 1) {
+          throw std::runtime_error("trial " + std::to_string(index));
+        }
+      });
+  Executor::Job clean =
+      executor.submit(40, [&](std::size_t, int) { healthy.fetch_add(1); });
+  executor.wait(clean);  // unaffected by its failing neighbour
+  EXPECT_EQ(healthy.load(), 40);
+  EXPECT_THROW(executor.wait(failing), std::runtime_error);
+  // The executor stays usable after a failed job.
+  Executor::Job again =
+      executor.submit(8, [&](std::size_t, int) { healthy.fetch_add(1); });
+  executor.wait(again);
+  EXPECT_EQ(healthy.load(), 48);
+}
+
+TEST(ExecutorTest, SerialExecutorFailsDeterministicallyAtLowestIndex) {
+  Executor executor(1);
+  std::vector<std::size_t> ran;
+  Executor::Job job = executor.submit(10, [&](std::size_t index, int worker) {
+    EXPECT_EQ(worker, 0);
+    ran.push_back(index);
+    if (index >= 2) throw std::runtime_error("boom " + std::to_string(index));
+  });
+  try {
+    executor.wait(job);
+    FAIL() << "expected the job failure to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 2");  // lowest failing index
+  }
+  // Serial execution is strictly in order and abandons after the failure.
+  ASSERT_EQ(ran.size(), 3u);
+  EXPECT_EQ(ran[2], 2u);
+  // Waiting again is idempotent and reports the same failure.
+  EXPECT_THROW(executor.wait(job), std::runtime_error);
+}
+
+TEST(ExecutorTest, WaitOnInvalidJobThrows) {
+  Executor executor(2);
+  Executor::Job job;
+  EXPECT_FALSE(job.valid());
+  EXPECT_THROW(executor.wait(job), Error);
 }
 
 // ---------------------------------------------------------------------------
