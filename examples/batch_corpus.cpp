@@ -74,10 +74,13 @@ int main(int argc, char** argv) {
     }
 
     if (broken) {
-      const std::string path = out_dir + "/broken.qasm";
+      // First member of the shared broken-file corpus (service/corpus.cpp),
+      // the same inputs the parser-robustness tests assert fail cleanly.
+      const BrokenQasm& sample = broken_qasm_corpus().front();
+      const std::string path = out_dir + "/" + sample.name + ".qasm";
       std::ofstream file(path);
-      file << "QUBIT q0,0\nQUBIT q1,0\nH q0\nFROB q1 # no such gate\n";
-      std::cout << path << "\n";
+      file << sample.text;
+      std::cout << path << "  # " << sample.reason << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

@@ -40,6 +40,13 @@ int usage(const char* argv0) {
       << "  --jobs <n>         shared worker threads for placement trials\n"
       << "                     (default: hardware concurrency; per-program\n"
       << "                     results are identical at any value)\n"
+      << "  --report           attach the PathFinder negotiation diagnostic\n"
+      << "                     to every record (a `negotiation` JSONL object\n"
+      << "                     per mapped program)\n"
+      << "  --route-jobs <n>   worker threads for the negotiated PathFinder\n"
+      << "                     batches of --report (speculative net\n"
+      << "                     parallelism; default 1, results identical at\n"
+      << "                     any value)\n"
       << "  --mapper <m>       qspr (default) | quale | qpos | baseline\n"
       << "  --placer <p>       mvfb (default) | mc | center\n"
       << "  --m <n>            MVFB seeds / MC trials per program (default "
@@ -116,6 +123,12 @@ int main(int argc, char** argv) {
       if (arg == "--jobs") {
         jobs = static_cast<int>(parse_integer(next()));
         if (jobs < 1) throw Error("--jobs must be at least 1");
+      } else if (arg == "--report") {
+        map_options.negotiation_report = true;
+      } else if (arg == "--route-jobs") {
+        const int route_jobs = static_cast<int>(parse_integer(next()));
+        if (route_jobs < 1) throw Error("--route-jobs must be at least 1");
+        map_options.route_jobs = route_jobs;
       } else if (arg == "--mapper") {
         const std::string name = next();
         const auto kind = mapper_kind_from_name(name);

@@ -34,6 +34,10 @@ int usage(const char* argv0) {
       << "  --jobs <n>         worker threads for placement trials (default:\n"
       << "                     hardware concurrency; results are identical\n"
       << "                     at any value)\n"
+      << "  --route-jobs <n>   worker threads for the negotiated PathFinder\n"
+      << "                     batches of --report (speculative net\n"
+      << "                     parallelism; default 1, results identical at\n"
+      << "                     any value)\n"
       << "  --fabric <file>    fabric drawing to map onto (default: 45x85 "
          "QUALE fabric)\n"
       << "  --trace            dump the control trace\n"
@@ -99,6 +103,10 @@ int main(int argc, char** argv) {
         const int jobs = static_cast<int>(parse_integer(next()));
         if (jobs < 1) throw Error("--jobs must be at least 1");
         options.jobs = jobs;
+      } else if (arg == "--route-jobs") {
+        const int route_jobs = static_cast<int>(parse_integer(next()));
+        if (route_jobs < 1) throw Error("--route-jobs must be at least 1");
+        options.route_jobs = route_jobs;
       } else if (arg == "--fabric") {
         fabric = parse_fabric_file(next());
       } else if (arg == "--trace") {

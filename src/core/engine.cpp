@@ -51,8 +51,11 @@ std::vector<NetRequest> relocation_nets(const Trace& trace,
 
 NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
                                             const TechnologyParams& tech,
-                                            const Trace& trace) {
+                                            const Trace& trace,
+                                            Executor& executor,
+                                            int route_jobs) {
   NegotiationDiagnostics diagnostics;
+  diagnostics.route_jobs = route_jobs;
   const std::vector<NetRequest> nets =
       relocation_nets(trace, routing_graph.fabric());
   diagnostics.nets = static_cast<int>(nets.size());
@@ -60,8 +63,15 @@ NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
     diagnostics.converged = true;
     return diagnostics;
   }
-  const PathFinderResult negotiated =
-      route_nets_negotiated(routing_graph, tech, nets);
+  // Net-parallel negotiation on the engine's shared executor; bit-identical
+  // to the serial loop at any route_jobs / worker count, so the diagnostic
+  // never depends on how it was parallelised.
+  PathFinderOptions options;
+  options.route_jobs = route_jobs;
+  PathFinderScratch scratch;
+  PathFinderScratchPool pool;
+  const PathFinderResult negotiated = route_nets_negotiated(
+      routing_graph, tech, nets, options, scratch, executor, pool);
   diagnostics.iterations_used = negotiated.iterations_used;
   diagnostics.converged = negotiated.converged;
   diagnostics.overused_resources = negotiated.overused_resources;
@@ -70,6 +80,8 @@ NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
   diagnostics.min_feasible_excess = negotiated.min_feasible_excess;
   diagnostics.searches_performed = negotiated.searches_performed;
   diagnostics.total_delay = negotiated.total_delay;
+  diagnostics.speculative_commits = negotiated.speculative_commits;
+  diagnostics.speculative_reroutes = negotiated.speculative_reroutes;
   return diagnostics;
 }
 
@@ -144,6 +156,8 @@ FabricArtifactCache& MappingEngine::artifacts() { return cache_; }
 MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
   require(job.program != nullptr && job.fabric != nullptr,
           "MapJob needs a program and a fabric");
+  require(job.options.route_jobs >= 1,
+          "MapJob needs at least one route worker (route_jobs >= 1)");
   const MapperOptions& options = job.options;
 
   auto state = std::make_unique<PendingState>();
@@ -268,7 +282,8 @@ MapResult MappingEngine::finish(PendingMap pending) {
   result.cpu_ms = state.stopwatch.elapsed_ms();
   if (state.job.options.negotiation_report && result.trace.size() > 0) {
     result.negotiation = diagnose_negotiation(
-        state.artifacts->graph, state.exec.tech, result.trace);
+        state.artifacts->graph, state.exec.tech, result.trace, executor_,
+        state.job.options.route_jobs);
   }
   return result;
 }

@@ -44,6 +44,12 @@ struct MapperOptions {
   /// placements) concurrently. Mapping results are bit-identical at any
   /// value; must be >= 1.
   int jobs = 1;
+  /// Worker budget for the negotiated PathFinder's speculative
+  /// intra-iteration net parallelism (the wave protocol of
+  /// route/pathfinder.hpp), used wherever the flow batch-routes nets — the
+  /// negotiation diagnostic above all. Results are bit-identical at any
+  /// value; must be >= 1 (1 = serial negotiation loop).
+  int route_jobs = 1;
 
   /// Batch-route the winning trace's relocations with the negotiated
   /// PathFinder and attach the convergence diagnostics to the result
@@ -78,6 +84,12 @@ struct NegotiationDiagnostics {
   /// Total physical delay of the negotiated batch (not part of the mapped
   /// latency; a whole-layer routing figure of merit).
   Duration total_delay = 0;
+  /// Wave-speculation observability (MapperOptions::route_jobs): these
+  /// describe *how* the identical result was computed, and are the only
+  /// fields that may differ across route_jobs values.
+  int route_jobs = 1;
+  long long speculative_commits = 0;
+  long long speculative_reroutes = 0;
 };
 
 struct MapResult {

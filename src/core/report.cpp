@@ -45,7 +45,15 @@ std::string make_report(const MapResult& result, const Program& program,
          << ", structural floor " << n.min_feasible_excess << ")";
     }
     os << "; " << n.searches_performed << " searches, batch delay "
-       << n.total_delay << " us\n";
+       << n.total_delay << " us";
+    if (n.route_jobs >= 2) {
+      // How the identical result was computed: committed speculations vs
+      // commit-time re-routes of the wave protocol.
+      os << " (" << n.route_jobs << " route workers: "
+         << n.speculative_commits << " speculative commits, "
+         << n.speculative_reroutes << " re-routes)";
+    }
+    os << "\n";
   }
 
   const DependencyGraph graph = DependencyGraph::build(program);

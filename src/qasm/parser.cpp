@@ -47,7 +47,14 @@ void parse_qubit_declaration(Program& program,
     if (!is_integer(init_text)) {
       fail("QUBIT init value must be an integer", line_number);
     }
-    const long long value = parse_integer(init_text);
+    long long value = -1;
+    try {
+      value = parse_integer(init_text);
+    } catch (const Error&) {
+      // All-digit text can still overflow long long; report it as a parse
+      // error with the line, like every other malformed declaration.
+      fail("QUBIT init value out of range", line_number);
+    }
     if (value != 0 && value != 1) {
       fail("QUBIT init value must be 0 or 1", line_number);
     }

@@ -35,6 +35,7 @@ void CongestionLedger::begin_iteration(double present_factor,
 
 void CongestionLedger::acquire(std::size_t index) {
   const int occupancy = ++occupancy_[index];
+  if (speculating_) update_divergence(index, occupancy - 1, occupancy);
   if (occupancy > capacity(index) && overused_pos_[index] < 0) {
     overused_pos_[index] = static_cast<std::int32_t>(overused_.size());
     overused_.push_back(static_cast<std::uint32_t>(index));
@@ -43,6 +44,7 @@ void CongestionLedger::acquire(std::size_t index) {
 
 void CongestionLedger::release(std::size_t index) {
   const int occupancy = --occupancy_[index];
+  if (speculating_) update_divergence(index, occupancy + 1, occupancy);
   if (occupancy <= capacity(index) && overused_pos_[index] >= 0) {
     const std::int32_t pos = overused_pos_[index];
     const std::uint32_t last = overused_.back();
@@ -58,6 +60,25 @@ void CongestionLedger::release(std::size_t index) {
     penalty_floor_ =
         std::max(1.0, std::min(penalty_floor_, entering_penalty(index)));
   }
+}
+
+void CongestionLedger::begin_speculation() {
+  speculation_base_ = occupancy_;  // copy-assign reuses capacity per wave
+  diverged_count_ = 0;
+  speculating_ = true;
+}
+
+void CongestionLedger::end_speculation() { speculating_ = false; }
+
+void CongestionLedger::update_divergence(std::size_t index, int old_occupancy,
+                                         int new_occupancy) {
+  // Penalties within one iteration depend on occupancy alone, and two
+  // occupancies price identically iff equal or both below capacity.
+  const int base = speculation_base_[index];
+  const int cap = capacity(index);
+  const bool was = old_occupancy != base && std::max(old_occupancy, base) >= cap;
+  const bool now = new_occupancy != base && std::max(new_occupancy, base) >= cap;
+  diverged_count_ += static_cast<int>(now) - static_cast<int>(was);
 }
 
 void CongestionLedger::mark_structural(

@@ -16,12 +16,28 @@
 // bidirectional meet-in-the-middle search over the arena's second frontier.
 // Each mechanism toggles independently via PathFinderOptions.
 //
+// With route_jobs >= 2 and an Executor, the nets *within* one iteration
+// route concurrently: the dirty worklist is partitioned into waves, each
+// wave's nets are searched speculatively against an immutable snapshot of
+// the congestion ledger (per-worker scratch from a WorkerScratchPool), and
+// results commit serially in net order. A speculative path is committed
+// only while the live ledger's penalty landscape is still byte-identical to
+// the wave snapshot (tracked by the ledger's divergence delta set plus a
+// penalty-floor equality check); otherwise the net is re-routed on the
+// committing thread against the true state — exactly what the serial loop
+// does. Commit order equals net order and every commit/re-route decision
+// depends only on committed state, so the negotiation is bit-identical to
+// the serial loop (paths, delays, diagnostics) at any route_jobs and any
+// executor worker count, by construction. Speculation applies to the
+// AStarArena engine; ReferenceDijkstra always runs the serial loop.
+//
 // The event-driven simulator routes incrementally instead (one instruction
 // at a time, Eq. 2 weights); this module provides the classic batch
 // formulation for comparison and for users who want whole-layer routing.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -30,6 +46,8 @@
 #include "route/search_arena.hpp"
 
 namespace qspr {
+
+class Executor;  // common/executor.hpp; only the parallel overload needs it
 
 struct NetRequest {
   TrapId from;
@@ -101,6 +119,17 @@ struct PathFinderOptions {
   /// Minimum source-target Manhattan distance (in cells) before a query uses
   /// the bidirectional search; short queries stay unidirectional.
   int bidirectional_min_cells = 24;
+
+  // --- speculative intra-iteration parallelism (executor overload only) ---
+
+  /// Worker budget for routing one iteration's dirty nets concurrently.
+  /// 1 keeps the serial loop; >= 2 enables wave speculation when the
+  /// executor overload is used (AStarArena engine only). Results are
+  /// bit-identical at any value.
+  int route_jobs = 1;
+  /// Nets per speculation wave (0 = auto: 4 * route_jobs, minimum 2). Only
+  /// affects how much work is speculated per snapshot, never the result.
+  int route_wave_size = 0;
 };
 
 struct PathFinderResult {
@@ -116,8 +145,26 @@ struct PathFinderResult {
   /// never go below it; converged implies it is 0.
   int min_feasible_excess = 0;
   /// Inner shortest-path searches actually performed; with partial rip-up
-  /// this is <= nets * iterations_used (clean nets are skipped).
+  /// this is <= nets * iterations_used (clean nets are skipped). Counted in
+  /// serial-equivalent terms: a committed speculative route counts as the
+  /// one search the serial loop would have run (extra speculative work is
+  /// reported separately below).
   long long searches_performed = 0;
+
+  // --- wave-speculation observability (not part of the bit-identity
+  // --- contract: 0 under the serial loop, deterministic for a fixed
+  // --- route_jobs/wave size and executor width >= 2, but different across
+  // --- route_jobs values). The two counters partition the *speculated*
+  // --- searches: commits + reroutes <= searches_performed, with equality
+  // --- only when every iteration's worklist actually ran as waves
+  // --- (iterations with a single dirty net fall back to the serial step
+  // --- and count in neither bucket). ---
+
+  /// Nets whose snapshot-routed path was committed as-is.
+  long long speculative_commits = 0;
+  /// Nets whose speculation was invalidated by an earlier commit in the
+  /// same wave and were re-routed serially at commit time.
+  long long speculative_reroutes = 0;
 };
 
 /// Per-node negotiated move weights of the optimized engine, kept in sync
@@ -133,6 +180,9 @@ class NodeWeightCache {
   void build(const RoutingGraph& graph, const CongestionLedger& ledger);
   void refresh_all(const CongestionLedger& ledger, double t_move);
   void refresh_resource(const CongestionLedger& ledger, std::size_t index);
+  /// Overrides one resource's move weight directly (the wave workers price
+  /// their own net's rip-up against an immutable snapshot this way).
+  void apply_weight(std::size_t index, double weight);
 
   std::vector<std::int32_t> node_resource;  // dense ledger index or -1
   std::vector<double> node_weight;          // t_move * entering_penalty
@@ -159,6 +209,17 @@ struct PathFinderScratch {
   NodeWeightCache weights;
 };
 
+/// Per-worker scratch of the speculative wave workers. Like a single
+/// scratch, one pool belongs to one negotiation context at a time; size it
+/// to the executor's worker_count().
+using PathFinderScratchPool = WorkerScratchPool<PathFinderScratch>;
+
+/// Contiguous [begin, end) wave chunks, in net order, over a dirty worklist
+/// of `worklist_size` nets. wave_size 0 selects the auto size
+/// (4 * route_jobs, minimum 2). Exposed for the wave-partition unit tests.
+std::vector<std::pair<std::size_t, std::size_t>> plan_speculation_waves(
+    std::size_t worklist_size, int route_jobs, int wave_size);
+
 /// Routes all nets with negotiated congestion. Nets with from == to receive
 /// empty paths. Throws RoutingError when some net has no route at all
 /// (disconnected fabric).
@@ -173,5 +234,18 @@ PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
                                        const std::vector<NetRequest>& nets,
                                        const PathFinderOptions& options,
                                        PathFinderScratch& scratch);
+
+/// As above, routing each iteration's dirty nets speculatively on
+/// `executor` when options.route_jobs >= 2 (see the wave protocol in the
+/// file comment). Bit-identical to the serial overloads at any route_jobs
+/// and worker count. The pool is grown to executor.worker_count() on entry;
+/// callable from inside an executor job (waves become nested sub-jobs).
+PathFinderResult route_nets_negotiated(const RoutingGraph& graph,
+                                       const TechnologyParams& params,
+                                       const std::vector<NetRequest>& nets,
+                                       const PathFinderOptions& options,
+                                       PathFinderScratch& scratch,
+                                       Executor& executor,
+                                       PathFinderScratchPool& pool);
 
 }  // namespace qspr

@@ -138,6 +138,25 @@ std::string batch_record_json(const BatchJobRecord& record) {
     json.field("placement_runs", result.placement_runs);
     json.field("wall_ms", result.cpu_ms);
     json.field("trial_cpu_ms", result.trial_cpu_ms);
+    if (result.negotiation.has_value()) {
+      // Per-job PathFinder negotiation diagnostic (negotiation_report /
+      // qspr_batch --report), bit-identical at any route_jobs.
+      const NegotiationDiagnostics& n = *result.negotiation;
+      json.key("negotiation").begin_object();
+      json.field("nets", n.nets);
+      json.field("iterations", n.iterations_used);
+      json.field("converged", n.converged);
+      json.field("overused_resources", n.overused_resources);
+      json.field("max_overuse", n.max_overuse);
+      json.field("total_excess", n.total_excess);
+      json.field("min_feasible_excess", n.min_feasible_excess);
+      json.field("searches", n.searches_performed);
+      json.field("batch_delay_us", static_cast<long long>(n.total_delay));
+      json.field("route_jobs", n.route_jobs);
+      json.field("speculative_commits", n.speculative_commits);
+      json.field("speculative_reroutes", n.speculative_reroutes);
+      json.end_object();
+    }
   }
   json.end_object();
   return json.str();

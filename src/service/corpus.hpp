@@ -4,6 +4,7 @@
 // "the bench corpus" and "the smoke corpus" stay the same workload.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "circuit/program.hpp"
@@ -14,5 +15,19 @@ namespace qspr {
 /// circuits. `full` adds the larger members (Q9/Q14 encoders, the 12-qubit
 /// random circuit); the small set is what smoke runs use.
 [[nodiscard]] std::vector<Program> make_batch_corpus(bool full);
+
+/// One intentionally-broken QASM input: `text` must make parse_qasm throw a
+/// clean Error (never crash, never parse). `reason` names what is wrong.
+struct BrokenQasm {
+  std::string name;
+  std::string reason;
+  std::string text;
+};
+
+/// The shared broken-file corpus: malformed, truncated and
+/// torture-formatted QASM inputs. Driven by the parser-robustness tests in
+/// tests/qasm_test.cpp and by the batch fault-isolation smoke (the
+/// batch_corpus example writes the first member as broken.qasm).
+[[nodiscard]] const std::vector<BrokenQasm>& broken_qasm_corpus();
 
 }  // namespace qspr

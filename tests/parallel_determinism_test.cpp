@@ -8,7 +8,9 @@
 // blocking ThreadPool facade.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -172,6 +174,90 @@ TEST(ExecutorTest, WaitOnInvalidJobThrows) {
   Executor::Job job;
   EXPECT_FALSE(job.valid());
   EXPECT_THROW(executor.wait(job), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Nested submission: bodies submitting + waiting on their own executor
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorNested, SubmitAndWaitFromInsideBodiesCompletes) {
+  // Every outer body spawns a sub-job and waits on it from inside the pool.
+  // Workers must help drain instead of parking — with 2 workers and 4
+  // concurrent nested waits this hangs if a waiting worker ever blocks
+  // while claimable work exists.
+  Executor executor(2);
+  constexpr std::size_t kOuter = 4;
+  constexpr std::size_t kInner = 16;
+  std::atomic<int> inner_runs{0};
+  Executor::Job outer = executor.submit(kOuter, [&](std::size_t, int) {
+    Executor::Job sub = executor.submit(kInner, [&](std::size_t, int) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+    executor.wait(sub);
+  });
+  executor.wait(outer);
+  EXPECT_EQ(inner_runs.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ExecutorNested, DeeplyNestedJobsCompleteOnOneWorker) {
+  // A 1-worker executor runs everything inline on the waiting thread;
+  // nested submit/wait must recurse cleanly instead of deadlocking.
+  Executor executor(1);
+  std::atomic<int> leaves{0};
+  const std::function<void(int)> spawn = [&](int depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Executor::Job job = executor.submit(
+        2, [&, depth](std::size_t, int) { spawn(depth - 1); });
+    executor.wait(job);
+  };
+  spawn(5);
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+TEST(ExecutorNested, WorkerIdsStayConfinedPerJobAcrossNesting) {
+  // The per-worker scratch contract: within one job, no two bodies may run
+  // under the same worker id concurrently — including the case a nested
+  // wait's help-drain could create by re-entering the *outer* job on a
+  // worker whose outer body is suspended beneath the wait (help-drain must
+  // skip jobs the thread has a frame in). The guard holds a per-(job,
+  // worker) lock across each whole body, nested wait included; any
+  // re-entry or cross-thread aliasing trips `overlap`.
+  Executor executor(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 32;
+  std::atomic<bool> overlap{false};
+  struct JobSlots {
+    std::array<std::atomic<int>, 16> in_use{};
+  };
+  JobSlots outer_slots;
+  JobSlots inner_slots;  // shared by all sub-jobs: a worker id is one thread
+  const auto body_guard = [&](JobSlots& job_slots, int worker,
+                              const auto& work) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    if (job_slots.in_use[worker].exchange(1) != 0) overlap = true;
+    work();
+    job_slots.in_use[worker].store(0);
+  };
+  std::atomic<int> inner_runs{0};
+  Executor::Job outer =
+      executor.submit(kOuter, [&](std::size_t, int worker) {
+        body_guard(outer_slots, worker, [&] {
+          Executor::Job sub =
+              executor.submit(kInner, [&](std::size_t, int inner_worker) {
+                body_guard(inner_slots, inner_worker, [&] {
+                  inner_runs.fetch_add(1, std::memory_order_relaxed);
+                });
+              });
+          executor.wait(sub);
+        });
+      });
+  executor.wait(outer);
+  EXPECT_EQ(inner_runs.load(), static_cast<int>(kOuter * kInner));
+  EXPECT_FALSE(overlap.load());
 }
 
 // ---------------------------------------------------------------------------

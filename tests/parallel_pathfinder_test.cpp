@@ -1,0 +1,443 @@
+// Speculative intra-iteration parallel PathFinder negotiation: wave
+// partitioning, the ledger's snapshot/divergence tracking, forced same-wave
+// collision commits, and the core contract — route_jobs ∈ {1,2,4} produces
+// results bit-identical to the serial loop (paths, delays, diagnostics) on
+// the pinned 8/16/32/48-net batches, including when negotiations run nested
+// inside executor jobs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/executor.hpp"
+#include "common/rng.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "route/pathfinder.hpp"
+
+namespace qspr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wave partitioning
+// ---------------------------------------------------------------------------
+
+TEST(WavePartition, CoversWorklistContiguouslyInOrder) {
+  for (const std::size_t n : {1u, 2u, 7u, 16u, 33u}) {
+    for (const int jobs : {1, 2, 4, 8}) {
+      const auto waves = plan_speculation_waves(n, jobs, /*wave_size=*/0);
+      ASSERT_FALSE(waves.empty()) << n << "/" << jobs;
+      EXPECT_EQ(waves.front().first, 0u);
+      EXPECT_EQ(waves.back().second, n);
+      for (std::size_t w = 0; w < waves.size(); ++w) {
+        EXPECT_LT(waves[w].first, waves[w].second);
+        if (w > 0) {
+          EXPECT_EQ(waves[w].first, waves[w - 1].second);
+        }
+      }
+    }
+  }
+}
+
+TEST(WavePartition, AutoSizeIsFourTimesRouteJobs) {
+  const auto waves = plan_speculation_waves(40, /*route_jobs=*/4, 0);
+  ASSERT_EQ(waves.size(), 3u);  // 16 + 16 + 8
+  EXPECT_EQ(waves[0].second - waves[0].first, 16u);
+  EXPECT_EQ(waves[2].second - waves[2].first, 8u);
+}
+
+TEST(WavePartition, ExplicitWaveSizeIsRespectedWithMinimumTwo) {
+  const auto sized = plan_speculation_waves(10, 2, /*wave_size=*/3);
+  ASSERT_EQ(sized.size(), 4u);  // 3 + 3 + 3 + 1
+  EXPECT_EQ(sized[0].second, 3u);
+  EXPECT_EQ(sized[3].second - sized[3].first, 1u);
+  // wave_size 1 is clamped to 2 (a 1-net wave cannot overlap anything).
+  const auto clamped = plan_speculation_waves(6, 1, /*wave_size=*/1);
+  ASSERT_EQ(clamped.size(), 3u);
+  EXPECT_EQ(clamped[0].second, 2u);
+}
+
+TEST(WavePartition, EmptyWorklistHasNoWaves) {
+  EXPECT_TRUE(plan_speculation_waves(0, 4, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// CongestionLedger snapshot / divergence tracking
+// ---------------------------------------------------------------------------
+
+TEST(CongestionSpeculation, DivergenceTracksPenaltyChangesOnly) {
+  // 4 segments, 0 junctions, capacity 2.
+  CongestionLedger ledger(4, 0, /*segment_capacity=*/2,
+                          /*junction_capacity=*/1);
+  ledger.begin_iteration(/*present_factor=*/0.6, /*track_floor=*/false);
+  ledger.acquire(0);  // occupancy 1, below capacity
+  ledger.begin_speculation();
+  EXPECT_TRUE(ledger.speculating());
+  EXPECT_EQ(ledger.diverged_count(), 0);
+
+  // Below-capacity churn prices identically: no divergence.
+  ledger.acquire(1);  // 0 -> 1 (capacity 2)
+  EXPECT_EQ(ledger.diverged_count(), 0);
+  EXPECT_FALSE(ledger.diverged(1));
+  ledger.release(1);
+  EXPECT_EQ(ledger.diverged_count(), 0);
+
+  // Crossing the capacity boundary diverges the resource.
+  ledger.acquire(0);  // 1 -> 2 == capacity: next entrant now pays over-use
+  EXPECT_EQ(ledger.diverged_count(), 1);
+  EXPECT_TRUE(ledger.diverged(0));
+  EXPECT_FALSE(ledger.diverged(1));
+
+  // Divergence is self-healing: restoring the snapshot occupancy clears it.
+  ledger.release(0);
+  EXPECT_EQ(ledger.diverged_count(), 0);
+  EXPECT_FALSE(ledger.diverged(0));
+
+  // Releasing below the snapshot of an at-capacity resource also diverges.
+  ledger.acquire(2);
+  ledger.acquire(2);  // occupancy 2 == capacity
+  ledger.begin_speculation();
+  EXPECT_EQ(ledger.diverged_count(), 0);
+  ledger.release(2);  // 2 -> 1: the entering penalty just dropped
+  EXPECT_EQ(ledger.diverged_count(), 1);
+  EXPECT_TRUE(ledger.diverged(2));
+  ledger.acquire(2);  // healed
+  EXPECT_EQ(ledger.diverged_count(), 0);
+
+  ledger.end_speculation();
+  EXPECT_FALSE(ledger.speculating());
+  EXPECT_FALSE(ledger.diverged(2));
+}
+
+TEST(CongestionSpeculation, AfterReleasePenaltyMatchesReleaseThenQuery) {
+  CongestionLedger ledger(2, 0, /*segment_capacity=*/1,
+                          /*junction_capacity=*/1);
+  ledger.begin_iteration(0.6, false);
+  for (int i = 0; i < 3; ++i) ledger.acquire(0);
+  const double predicted = ledger.entering_penalty_after_release(0);
+  ledger.release(0);
+  EXPECT_DOUBLE_EQ(predicted, ledger.entering_penalty(0));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the wave protocol
+// ---------------------------------------------------------------------------
+
+std::vector<NetRequest> central_nets(const Fabric& fabric, int count,
+                                     std::uint64_t seed) {
+  const auto central = fabric.traps_by_distance(fabric.center());
+  const std::size_t pool = std::min<std::size_t>(central.size(), 64);
+  Rng rng(seed);
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < count; ++i) {
+    const TrapId from = central[rng.uniform_index(pool)];
+    TrapId to = central[rng.uniform_index(pool)];
+    while (to == from) to = central[rng.uniform_index(pool)];
+    nets.push_back({from, to});
+  }
+  return nets;
+}
+
+std::vector<NetRequest> distinct_nets(const Fabric& fabric, int count,
+                                      std::uint64_t seed) {
+  const auto central = fabric.traps_by_distance(fabric.center());
+  const std::size_t pool = std::min<std::size_t>(
+      central.size(), std::max<std::size_t>(128, 2 * count));
+  Rng rng(seed);
+  std::vector<TrapId> traps(central.begin(), central.begin() + pool);
+  for (std::size_t i = traps.size(); i > 1; --i) {
+    std::swap(traps[i - 1], traps[rng.uniform_index(i)]);
+  }
+  std::vector<NetRequest> nets;
+  for (int i = 0; i < count; ++i) {
+    nets.push_back({traps[2 * i], traps[2 * i + 1]});
+  }
+  return nets;
+}
+
+/// Full-strength identity: every contractual field, node-exact paths.
+void expect_identical(const PathFinderResult& serial,
+                      const PathFinderResult& parallel,
+                      const std::string& label) {
+  EXPECT_EQ(serial.iterations_used, parallel.iterations_used) << label;
+  EXPECT_EQ(serial.converged, parallel.converged) << label;
+  EXPECT_EQ(serial.total_delay, parallel.total_delay) << label;
+  EXPECT_EQ(serial.overused_resources, parallel.overused_resources) << label;
+  EXPECT_EQ(serial.max_overuse, parallel.max_overuse) << label;
+  EXPECT_EQ(serial.total_excess, parallel.total_excess) << label;
+  EXPECT_EQ(serial.min_feasible_excess, parallel.min_feasible_excess)
+      << label;
+  EXPECT_EQ(serial.searches_performed, parallel.searches_performed) << label;
+  ASSERT_EQ(serial.paths.size(), parallel.paths.size()) << label;
+  for (std::size_t i = 0; i < serial.paths.size(); ++i) {
+    const RoutedPath& a = serial.paths[i];
+    const RoutedPath& b = parallel.paths[i];
+    EXPECT_EQ(a.total_delay(), b.total_delay()) << label << " net " << i;
+    ASSERT_EQ(a.nodes.size(), b.nodes.size()) << label << " net " << i;
+    for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+      ASSERT_EQ(a.nodes[n], b.nodes[n])
+          << label << " net " << i << " node " << n;
+    }
+  }
+}
+
+TEST(ParallelPathFinder, BitIdenticalOnPinnedBatches) {
+  const Fabric fabric = make_paper_fabric();
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+
+  struct Batch {
+    std::string name;
+    std::vector<NetRequest> nets;
+  };
+  const std::vector<Batch> batches = {
+      {"central_8", central_nets(fabric, 8, 11)},
+      {"central_16", central_nets(fabric, 16, 11)},
+      {"distinct_32", distinct_nets(fabric, 32, 11)},
+      {"distinct_48", distinct_nets(fabric, 48, 11)},
+  };
+
+  PathFinderScratch serial_scratch;
+  for (const Batch& batch : batches) {
+    const PathFinderResult serial = route_nets_negotiated(
+        graph, params, batch.nets, PathFinderOptions{}, serial_scratch);
+    EXPECT_EQ(serial.speculative_commits, 0) << batch.name;
+    EXPECT_EQ(serial.speculative_reroutes, 0) << batch.name;
+    for (const int route_jobs : {1, 2, 4}) {
+      Executor executor(route_jobs);
+      PathFinderScratchPool pool;
+      PathFinderScratch scratch;
+      PathFinderOptions options;
+      options.route_jobs = route_jobs;
+      const PathFinderResult parallel = route_nets_negotiated(
+          graph, params, batch.nets, options, scratch, executor, pool);
+      expect_identical(serial, parallel,
+                       batch.name + "/jobs" + std::to_string(route_jobs));
+      if (route_jobs >= 2) {
+        // The counters partition the *speculated* searches; iterations
+        // whose worklist shrank to one net ran the serial step and count
+        // in neither bucket.
+        EXPECT_LE(parallel.speculative_commits +
+                      parallel.speculative_reroutes,
+                  parallel.searches_performed)
+            << batch.name;
+        EXPECT_GT(parallel.speculative_commits, 0) << batch.name;
+      } else {
+        EXPECT_EQ(parallel.speculative_commits, 0) << batch.name;
+      }
+    }
+  }
+}
+
+TEST(ParallelPathFinder, WorkerCountDoesNotLeakIntoResults) {
+  // Same route_jobs, different executor widths (over- and under-sized):
+  // still bit-identical. A 1-worker executor legitimately takes the serial
+  // loop (counters 0 — nothing to overlap); every multi-worker width must
+  // also agree on the speculation counters, since wave planning and commit
+  // decisions depend only on committed state, never on scheduling.
+  const Fabric fabric = make_quale_fabric({4, 4, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const auto nets = central_nets(fabric, 12, 3);
+
+  PathFinderOptions options;
+  options.route_jobs = 4;
+  std::optional<PathFinderResult> reference;
+  std::optional<PathFinderResult> reference_wide;
+  for (const int workers : {1, 2, 4, 8}) {
+    Executor executor(workers);
+    PathFinderScratchPool pool;
+    PathFinderScratch scratch;
+    const PathFinderResult result = route_nets_negotiated(
+        graph, params, nets, options, scratch, executor, pool);
+    if (!reference.has_value()) {
+      reference = result;
+      EXPECT_EQ(result.speculative_commits, 0);  // serial loop at width 1
+      EXPECT_EQ(result.speculative_reroutes, 0);
+      continue;
+    }
+    expect_identical(*reference, result,
+                     "workers" + std::to_string(workers));
+    if (!reference_wide.has_value()) {
+      reference_wide = result;
+      EXPECT_GT(result.speculative_commits + result.speculative_reroutes, 0);
+      continue;
+    }
+    EXPECT_EQ(reference_wide->speculative_commits,
+              result.speculative_commits);
+    EXPECT_EQ(reference_wide->speculative_reroutes,
+              result.speculative_reroutes);
+  }
+}
+
+TEST(ParallelPathFinder, ForcedSameWaveCollisionsCommitCorrectly) {
+  // Capacity-1 fabric with nets contending for the same corridors: the
+  // first commit of a wave crosses a capacity boundary, diverging the
+  // snapshot, so later wave mates must be re-routed at commit — and the
+  // result must still be bit-identical to the serial loop.
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  TechnologyParams strict;
+  strict.channel_capacity = 1;
+  strict.junction_capacity = 1;
+
+  const auto trap = [&](int row, int col) {
+    const TrapId id = fabric.trap_at({row, col});
+    EXPECT_TRUE(id.is_valid());
+    return id;
+  };
+  // All three nets cross left-to-right through the same region; one wave
+  // (route_jobs=4 -> wave size 16) holds all of them.
+  const std::vector<NetRequest> nets = {
+      {trap(1, 1), trap(1, 7)},
+      {trap(3, 1), trap(3, 7)},
+      {trap(5, 1), trap(5, 7)},
+      {trap(1, 3), trap(5, 5)},
+      {trap(5, 3), trap(1, 5)},
+      {trap(3, 3), trap(3, 7)},
+  };
+
+  const PathFinderResult serial =
+      route_nets_negotiated(graph, strict, nets);
+  Executor executor(4);
+  PathFinderScratchPool pool;
+  PathFinderScratch scratch;
+  PathFinderOptions options;
+  options.route_jobs = 4;
+  const PathFinderResult parallel = route_nets_negotiated(
+      graph, strict, nets, options, scratch, executor, pool);
+  expect_identical(serial, parallel, "collision");
+  // The contention must actually have invalidated some speculation.
+  EXPECT_GT(parallel.speculative_reroutes, 0);
+}
+
+TEST(ParallelPathFinder, UncontendedWaveCommitsEverySpeculation) {
+  // Four short nets confined to four far-apart regions of the paper fabric:
+  // their paths share no resource and nothing reaches capacity, so the
+  // snapshot stays penalty-identical through the whole wave and every net
+  // commits speculatively.
+  const Fabric fabric = make_paper_fabric();
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  std::vector<NetRequest> nets;
+  for (const Position corner :
+       {Position{8, 15}, Position{8, 70}, Position{36, 15},
+        Position{36, 70}}) {
+    const auto local = fabric.traps_by_distance(corner);
+    ASSERT_GE(local.size(), 2u);
+    nets.push_back({local[0], local[1]});
+  }
+
+  Executor executor(2);
+  PathFinderScratchPool pool;
+  PathFinderScratch scratch;
+  PathFinderOptions options;
+  options.route_jobs = 2;
+  const PathFinderResult result = route_nets_negotiated(
+      graph, params, nets, options, scratch, executor, pool);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations_used, 1);
+  EXPECT_EQ(result.speculative_commits, static_cast<long long>(nets.size()));
+  EXPECT_EQ(result.speculative_reroutes, 0);
+}
+
+TEST(ParallelPathFinder, ScratchAndPoolReuseAcrossBatchesIsClean) {
+  // One executor + pool + scratch reused across different net sets and
+  // fabrics (the per-worker ownership pattern of the trial pipeline).
+  const TechnologyParams params;
+  Executor executor(2);
+  PathFinderScratchPool pool;
+  PathFinderScratch scratch;
+  PathFinderOptions options;
+  options.route_jobs = 2;
+
+  for (const auto& dims : {QualeFabricParams{3, 3, 4},
+                           QualeFabricParams{4, 4, 4}}) {
+    const Fabric fabric = make_quale_fabric(dims);
+    const RoutingGraph graph(fabric);
+    for (const std::uint64_t seed : {1u, 5u}) {
+      const auto nets = central_nets(fabric, 10, seed);
+      const PathFinderResult serial =
+          route_nets_negotiated(graph, params, nets);
+      const PathFinderResult parallel = route_nets_negotiated(
+          graph, params, nets, options, scratch, executor, pool);
+      expect_identical(serial, parallel, "reuse seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ParallelPathFinder, NestedInsideExecutorJobsStaysIdentical) {
+  // Two negotiations running concurrently as jobs on one executor, each
+  // spawning its own wave sub-jobs (nested submit/wait from worker
+  // threads). Each context owns its scratch + pool; results must equal the
+  // serial reference.
+  const Fabric fabric = make_paper_fabric();
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const std::vector<std::vector<NetRequest>> batches = {
+      central_nets(fabric, 12, 7),
+      distinct_nets(fabric, 16, 13),
+  };
+  std::vector<PathFinderResult> serial;
+  for (const auto& nets : batches) {
+    serial.push_back(route_nets_negotiated(graph, params, nets));
+  }
+
+  Executor executor(4);
+  std::vector<PathFinderResult> nested(batches.size());
+  std::vector<PathFinderScratch> scratches(batches.size());
+  std::vector<PathFinderScratchPool> pools(batches.size());
+  const Executor::Job outer = executor.submit(
+      batches.size(), [&](std::size_t index, int) {
+        PathFinderOptions options;
+        options.route_jobs = 2;
+        nested[index] = route_nets_negotiated(
+            graph, params, batches[index], options, scratches[index],
+            executor, pools[index]);
+      });
+  executor.wait(outer);
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    expect_identical(serial[b], nested[b], "nested batch " + std::to_string(b));
+  }
+}
+
+TEST(ParallelPathFinder, ReferenceEngineIgnoresRouteJobs) {
+  // Speculation is an optimized-engine mechanism; the reference engine runs
+  // the serial loop under any route_jobs.
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  const TechnologyParams params;
+  const auto nets = central_nets(fabric, 6, 2);
+
+  PathFinderOptions reference;
+  reference.engine = PathFinderEngine::ReferenceDijkstra;
+  const PathFinderResult serial =
+      route_nets_negotiated(graph, params, nets, reference);
+
+  Executor executor(4);
+  PathFinderScratchPool pool;
+  PathFinderScratch scratch;
+  reference.route_jobs = 4;
+  const PathFinderResult parallel = route_nets_negotiated(
+      graph, params, nets, reference, scratch, executor, pool);
+  expect_identical(serial, parallel, "reference engine");
+  EXPECT_EQ(parallel.speculative_commits, 0);
+  EXPECT_EQ(parallel.speculative_reroutes, 0);
+}
+
+TEST(ParallelPathFinder, RejectsBadOptions) {
+  const Fabric fabric = make_quale_fabric({3, 3, 4});
+  const RoutingGraph graph(fabric);
+  PathFinderOptions options;
+  options.route_jobs = 0;
+  EXPECT_THROW(route_nets_negotiated(graph, TechnologyParams{}, {}, options),
+               Error);
+  options.route_jobs = 1;
+  options.route_wave_size = -1;
+  EXPECT_THROW(route_nets_negotiated(graph, TechnologyParams{}, {}, options),
+               Error);
+}
+
+}  // namespace
+}  // namespace qspr

@@ -3,11 +3,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "common/error.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/writer.hpp"
 #include "qecc/codes.hpp"
+#include "service/corpus.hpp"
 
 namespace qspr {
 namespace {
@@ -172,6 +174,85 @@ TEST(QasmParser, EmptyProgramIsValid) {
   const Program program = parse_qasm("");
   EXPECT_EQ(program.qubit_count(), 0u);
   EXPECT_EQ(program.instruction_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish robustness: every broken input fails with a clean Error
+// ---------------------------------------------------------------------------
+
+TEST(QasmRobustness, BrokenCorpusAlwaysFailsCleanly) {
+  // The shared broken-file corpus (service/corpus.cpp) — also what the CI
+  // batch fault-isolation smoke feeds qspr_batch. Each member must raise a
+  // clean Error: never crash, never silently parse.
+  for (const BrokenQasm& broken : broken_qasm_corpus()) {
+    EXPECT_THROW(parse_qasm(broken.text, broken.name), Error)
+        << broken.name << ": " << broken.reason;
+  }
+}
+
+TEST(QasmRobustness, TruncationAtEveryPrefixNeverCrashes) {
+  // Chop a valid program at every byte offset: each prefix must either
+  // parse (clean cut) or throw a clean Error — nothing else.
+  const std::string text(kFigure3Qasm);
+  int parsed = 0;
+  int rejected = 0;
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    try {
+      (void)parse_qasm(text.substr(0, cut), "prefix");
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(QasmRobustness, OversizedQubitInitValues) {
+  // Overflowing init values must be parse errors with the offending line,
+  // not uncaught integer errors (and never UB).
+  try {
+    parse_qasm("QUBIT a,0\nQUBIT b,184467440737095516150\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+  EXPECT_THROW(parse_qasm("QUBIT a,99999999999999999999999999999\n"),
+               ParseError);
+  // In-range but non-bit values keep their original diagnostic.
+  EXPECT_THROW(parse_qasm("QUBIT a,2\n"), ParseError);
+  EXPECT_THROW(parse_qasm("QUBIT a,-1\n"), ParseError);
+}
+
+TEST(QasmRobustness, DuplicateRegisterNamesRejectedCaseSensitively) {
+  EXPECT_THROW(parse_qasm("QUBIT data\nQUBIT data\n"), ParseError);
+  // Distinct case is a distinct register — must parse.
+  const Program program = parse_qasm("QUBIT data\nQUBIT DATA\nH data\n");
+  EXPECT_EQ(program.qubit_count(), 2u);
+}
+
+TEST(QasmRobustness, CrlfAndWhitespaceTortureParses) {
+  // CRLF endings, tab soup, trailing blanks, comment-only lines and a
+  // blank-padded final line must all parse to the same program.
+  const Program program = parse_qasm(
+      "\r\n"
+      "QUBIT\tq0 , 0   \r\n"
+      "  QUBIT q1,1\t\t# trailing comment\r\n"
+      "\t\r\n"
+      "H\tq0\r\n"
+      "C-X\t q0 ,\tq1 \r\n"
+      "   // comment only\r\n"
+      "   ");
+  EXPECT_EQ(program.qubit_count(), 2u);
+  EXPECT_EQ(program.instruction_count(), 2u);
+  EXPECT_EQ(program.qubit(program.find_qubit("q1")).init_value, 1);
+}
+
+TEST(QasmRobustness, WhitespaceOnlyAndCommentOnlyFilesAreEmptyPrograms) {
+  for (const char* text : {"   ", "\r\n\r\n", "# nothing\n// here\n", "\t"}) {
+    const Program program = parse_qasm(text);
+    EXPECT_EQ(program.instruction_count(), 0u) << '"' << text << '"';
+  }
 }
 
 }  // namespace
