@@ -24,20 +24,25 @@
 // so speedups are measured against live pre-optimization behaviour — never
 // against a number frozen in a doc. batch_throughput likewise measures the
 // batch service against a live sequential map_program loop.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/executor.hpp"
 #include "common/json.hpp"
+#include "common/net.hpp"
 #include "common/thread_pool.hpp"
 #include "route/pathfinder.hpp"
 #include "service/batch_mapper.hpp"
 #include "service/corpus.hpp"
+#include "service/serve_loop.hpp"
 
 using namespace qspr;
 using qspr_bench::JsonWriter;
@@ -719,6 +724,198 @@ int main(int argc, char** argv) {
               << ", sequential loop " << format_fixed(sequential_ms, 1)
               << " ms):\n"
               << table.to_string();
+  }
+
+  // --------------------------------------------------- serve throughput ---
+  // qspr_serve's daemon core measured end-to-end over loopback TCP: closed-
+  // loop requests/sec and reply-latency percentiles at 1/2/4 concurrent
+  // clients, plus the explicit shed rate when a pipelined burst overruns the
+  // admission queue. Caveat: client threads, mapper threads, and the poll
+  // loop all share this host's cores (CI pins one), so absolute RPS is a
+  // lower bound — track the trajectory, don't capacity-plan from it.
+  {
+    const std::string qasm =
+        "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nH q0\nC-X q0,q1\nC-X q1,q2\n"
+        "MEASURE q2\n";
+    const int trials = smoke ? 3 : 8;
+    const int per_client = smoke ? 8 : 48;
+
+    const auto map_line = [&](const std::string& id, int m) {
+      JsonWriter request;
+      request.begin_object()
+          .field("type", "map")
+          .field("id", id)
+          .field("qasm", qasm)
+          .field("placer", "mc")
+          .field("m", m)
+          .field("seed", 3)
+          .end_object();
+      return request.str() + "\n";
+    };
+    const auto send_all = [](int fd, std::string_view data) {
+      while (!data.empty()) {
+        const IoResult io = write_some(fd, data);
+        if (io.status == IoStatus::Error) return false;
+        data.remove_prefix(io.bytes);
+      }
+      return true;
+    };
+    const auto read_line = [](int fd, std::string& buffer) {
+      for (;;) {
+        const std::size_t newline = buffer.find('\n');
+        if (newline != std::string::npos) {
+          std::string line = buffer.substr(0, newline);
+          buffer.erase(0, newline + 1);
+          return line;
+        }
+        char chunk[4096];
+        const IoResult io = read_some(fd, chunk, sizeof chunk);
+        if (io.status != IoStatus::Ok || io.bytes == 0) return std::string();
+        buffer.append(chunk, io.bytes);
+      }
+    };
+    const auto percentile = [](std::vector<double> sorted, double q) {
+      if (sorted.empty()) return 0.0;
+      std::sort(sorted.begin(), sorted.end());
+      const auto index = static_cast<std::size_t>(
+          q * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[std::min(index, sorted.size() - 1)];
+    };
+
+    TextTable table({"Clients", "Requests", "wall ms", "req/sec", "p50 ms",
+                     "p99 ms", "errors"});
+    json.key("serve_throughput").begin_object();
+    json.field("trials_per_request", trials);
+    json.field("requests_per_client", per_client);
+    json.field("single_core_caveat",
+               "clients, mappers, and poll loop share this host's cores; "
+               "RPS is a lower bound on daemon capacity");
+    json.key("runs").begin_array();
+    for (const int clients : {1, 2, 4}) {
+      ServeOptions serve_options;
+      serve_options.port = 0;
+      serve_options.workers = 1;
+      serve_options.mapper_threads = std::min(clients, std::max(1, max_jobs));
+      serve_options.max_queue = 64;
+      MappingServer server(serve_options);
+      server.start();
+      std::thread serving([&server] { (void)server.serve(); });
+
+      std::mutex merge_mutex;
+      std::vector<double> latencies_ms;
+      long long ok = 0;
+      long long errors = 0;
+      const Stopwatch wall;
+      std::vector<std::thread> pumps;
+      pumps.reserve(static_cast<std::size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        pumps.emplace_back([&, c] {
+          const FileDescriptor fd = connect_client("127.0.0.1", server.port());
+          std::string buffer;
+          std::vector<double> laps;
+          long long local_ok = 0;
+          long long local_errors = 0;
+          for (int r = 0; r < per_client; ++r) {
+            const std::string line = map_line(
+                "c" + std::to_string(c) + "-" + std::to_string(r), trials);
+            const Stopwatch lap;
+            if (!send_all(fd.get(), line)) {
+              ++local_errors;
+              break;
+            }
+            const std::string reply = read_line(fd.get(), buffer);
+            laps.push_back(lap.elapsed_ms());
+            if (reply.find("\"ok\":true") != std::string::npos) {
+              ++local_ok;
+            } else {
+              ++local_errors;
+            }
+          }
+          const std::lock_guard<std::mutex> lock(merge_mutex);
+          latencies_ms.insert(latencies_ms.end(), laps.begin(), laps.end());
+          ok += local_ok;
+          errors += local_errors;
+        });
+      }
+      for (std::thread& pump : pumps) pump.join();
+      const double wall_ms = wall.elapsed_ms();
+      server.request_drain();
+      serving.join();
+
+      const long long requests = ok + errors;
+      const double rps =
+          wall_ms > 0.0 ? static_cast<double>(ok) * 1000.0 / wall_ms : 0.0;
+      const double p50 = percentile(latencies_ms, 0.50);
+      const double p99 = percentile(latencies_ms, 0.99);
+      table.add_row({std::to_string(clients), std::to_string(requests),
+                     format_fixed(wall_ms, 1), format_fixed(rps, 2),
+                     format_fixed(p50, 2), format_fixed(p99, 2),
+                     std::to_string(errors)});
+      json.begin_object()
+          .field("clients", clients)
+          .field("requests", requests)
+          .field("wall_ms", wall_ms)
+          .field("requests_per_sec", rps)
+          .field("p50_ms", p50)
+          .field("p99_ms", p99)
+          .field("errors", errors)
+          .end_object();
+    }
+    json.end_array();
+
+    // Overload shed: one slow mapper behind a 2-slot queue against a
+    // pipelined burst. Every request must get an explicit reply — shed ones
+    // say overloaded with retry_after_ms — and the shed rate is the metric.
+    {
+      ServeOptions serve_options;
+      serve_options.port = 0;
+      serve_options.workers = 1;
+      serve_options.mapper_threads = 1;
+      serve_options.max_queue = 2;
+      serve_options.retry_after_ms = 5;
+      MappingServer server(serve_options);
+      server.start();
+      std::thread serving([&server] { (void)server.serve(); });
+
+      const int burst = smoke ? 12 : 32;
+      const FileDescriptor fd = connect_client("127.0.0.1", server.port());
+      std::string pipelined;
+      for (int r = 0; r < burst; ++r) {
+        pipelined += map_line("burst-" + std::to_string(r),
+                              std::max(trials, smoke ? 8 : 24));
+      }
+      long long shed = 0;
+      long long answered = 0;
+      if (send_all(fd.get(), pipelined)) {
+        std::string buffer;
+        for (int r = 0; r < burst; ++r) {
+          const std::string reply = read_line(fd.get(), buffer);
+          if (reply.empty()) break;
+          ++answered;
+          if (reply.find("\"code\":\"overloaded\"") != std::string::npos) {
+            ++shed;
+          }
+        }
+      }
+      server.request_drain();
+      serving.join();
+
+      const double shed_rate =
+          burst > 0 ? static_cast<double>(shed) / burst : 0.0;
+      json.key("overload").begin_object();
+      json.field("burst", burst);
+      json.field("max_queue", 2);
+      json.field("answered", answered);
+      json.field("shed", shed);
+      json.field("shed_rate", shed_rate);
+      json.end_object();
+      std::cout << "\nserve throughput (loopback TCP, MC m=" << trials
+                << ", " << per_client << " requests/client; overload burst "
+                << burst << " -> " << shed << " shed, " << answered
+                << " answered):\n"
+                << table.to_string();
+    }
+    json.end_object();
   }
 
   json.end_object();

@@ -36,7 +36,13 @@ int usage(const char* argv0) {
       << "  inputs             a directory (maps every *.qasm in it, sorted),\n"
       << "                     .qasm files, and/or manifest files listing one\n"
       << "                     QASM path per line (# starts a comment;\n"
-      << "                     relative paths resolve against the manifest)\n"
+      << "                     relative paths resolve against the manifest).\n"
+      << "                     A manifest line may carry a second field — a\n"
+      << "                     per-record fabric: `circ.qasm ring.txt` maps\n"
+      << "                     that record onto ring.txt, `circ.qasm paper`\n"
+      << "                     onto the built-in fabric; records without one\n"
+      << "                     use --fabric. Distinct fabrics build routing\n"
+      << "                     artifacts once each (shared cache).\n"
       << "  --jobs <n>         shared worker threads for placement trials\n"
       << "                     (default: hardware concurrency; per-program\n"
       << "                     results are identical at any value)\n"
@@ -63,43 +69,67 @@ int usage(const char* argv0) {
   return 2;
 }
 
-/// Expands one CLI input into QASM paths: directory -> sorted *.qasm
-/// members; *.qasm file -> itself; anything else -> manifest listing one
-/// path per line.
-std::vector<std::string> expand_input(const std::string& input) {
+/// One expanded manifest entry: the QASM path plus an optional per-record
+/// fabric spec ("" = use the batch default).
+struct ManifestEntry {
+  std::string qasm;
+  std::string fabric;
+};
+
+/// Expands one CLI input: directory -> sorted *.qasm members; *.qasm file
+/// -> itself; anything else -> manifest listing `qasm_path [fabric]` per
+/// line, where fabric is "paper" or a drawing path (relative paths — both
+/// QASM and fabric — resolve against the manifest's directory).
+std::vector<ManifestEntry> expand_input(const std::string& input) {
   namespace fs = std::filesystem;
-  std::vector<std::string> paths;
+  std::vector<ManifestEntry> entries;
   const fs::path path(input);
   if (fs::is_directory(path)) {
     for (const fs::directory_entry& entry : fs::directory_iterator(path)) {
       if (entry.is_regular_file() && entry.path().extension() == ".qasm") {
-        paths.push_back(entry.path().string());
+        entries.push_back({entry.path().string(), ""});
       }
     }
-    std::sort(paths.begin(), paths.end());
-    if (paths.empty()) {
+    std::sort(entries.begin(), entries.end(),
+              [](const ManifestEntry& a, const ManifestEntry& b) {
+                return a.qasm < b.qasm;
+              });
+    if (entries.empty()) {
       throw Error("directory has no .qasm files: " + input);
     }
-    return paths;
+    return entries;
   }
   if (path.extension() == ".qasm") {
-    paths.push_back(input);
-    return paths;
+    entries.push_back({input, ""});
+    return entries;
   }
   std::ifstream manifest(input);
   if (!manifest) throw Error("cannot read manifest: " + input);
+  const auto resolve = [&](std::string_view listed) {
+    fs::path resolved{std::string(listed)};
+    if (resolved.is_relative()) resolved = path.parent_path() / resolved;
+    return resolved.string();
+  };
   std::string line;
   while (std::getline(manifest, line)) {
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
-    const std::string_view entry = trim(line);
-    if (entry.empty()) continue;
-    fs::path listed{std::string(entry)};
-    if (listed.is_relative()) listed = path.parent_path() / listed;
-    paths.push_back(listed.string());
+    const std::vector<std::string_view> fields = split_whitespace(trim(line));
+    if (fields.empty()) continue;
+    if (fields.size() > 2) {
+      throw Error("manifest line has more than two fields: " + line);
+    }
+    ManifestEntry entry;
+    entry.qasm = resolve(fields[0]);
+    if (fields.size() == 2) {
+      // "paper" is a symbolic spec, not a path; leave it unresolved.
+      entry.fabric =
+          fields[1] == "paper" ? std::string(fields[1]) : resolve(fields[1]);
+    }
+    entries.push_back(std::move(entry));
   }
-  if (paths.empty()) throw Error("manifest lists no programs: " + input);
-  return paths;
+  if (entries.empty()) throw Error("manifest lists no programs: " + input);
+  return entries;
 }
 
 }  // namespace
@@ -171,11 +201,12 @@ int main(int argc, char** argv) {
     if (!fabric.has_value()) fabric = make_paper_fabric();
     std::vector<BatchJob> manifest;
     for (const std::string& input : inputs) {
-      for (std::string& path : expand_input(input)) {
+      for (ManifestEntry& entry : expand_input(input)) {
         BatchJob job;
-        job.name = std::filesystem::path(path).stem().string();
-        job.qasm_path = std::move(path);
+        job.name = std::filesystem::path(entry.qasm).stem().string();
+        job.qasm_path = std::move(entry.qasm);
         job.fabric = &*fabric;
+        job.fabric_spec = std::move(entry.fabric);
         job.options = map_options;
         manifest.push_back(std::move(job));
       }

@@ -64,9 +64,16 @@ bool JsonValue::bool_or(std::string_view key, bool fallback) const {
 /// Recursive-descent parser over a string_view with line/column tracking.
 class JsonParser {
  public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
+  JsonParser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      // Checked before parsing anything: a byte-budget violation must cost
+      // O(1), not a walk over an attacker-sized document.
+      fail("document exceeds byte budget (" + std::to_string(text_.size()) +
+           " > " + std::to_string(limits_.max_bytes) + " bytes)");
+    }
     JsonValue value = parse_value();
     skip_whitespace();
     if (at_ != text_.size()) fail("trailing characters after JSON document");
@@ -144,13 +151,24 @@ class JsonParser {
     fail("unexpected character");
   }
 
+  /// Containers recurse through parse_value; the depth counter bounds that
+  /// recursion so `[[[[...` fails cleanly instead of exhausting the stack.
+  void enter_container() {
+    if (++depth_ > limits_.max_depth) {
+      fail("nesting deeper than " + std::to_string(limits_.max_depth) +
+           " levels");
+    }
+  }
+
   JsonValue parse_object() {
     expect('{');
+    enter_container();
     JsonValue value;
     value.kind_ = JsonValue::Kind::Object;
     skip_whitespace();
     if (!eof() && peek() == '}') {
       take();
+      --depth_;
       return value;
     }
     for (;;) {
@@ -166,17 +184,20 @@ class JsonParser {
         continue;
       }
       expect('}');
+      --depth_;
       return value;
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    enter_container();
     JsonValue value;
     value.kind_ = JsonValue::Kind::Array;
     skip_whitespace();
     if (!eof() && peek() == ']') {
       take();
+      --depth_;
       return value;
     }
     for (;;) {
@@ -188,6 +209,7 @@ class JsonParser {
         continue;
       }
       expect(']');
+      --depth_;
       return value;
     }
   }
@@ -272,13 +294,15 @@ class JsonParser {
   }
 
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t at_ = 0;
+  int depth_ = 0;
   int line_ = 1;
   int column_ = 1;
 };
 
-JsonValue parse_json(std::string_view text) {
-  return JsonParser(text).parse_document();
+JsonValue parse_json(std::string_view text, const JsonLimits& limits) {
+  return JsonParser(text, limits).parse_document();
 }
 
 JsonValue parse_json_file(const std::string& path) {

@@ -57,9 +57,22 @@ class JsonValue {
   std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
+/// Guard rails for parsing untrusted wire input (the serve request codec).
+/// Every limit fails with a clean ParseError, never unbounded recursion or
+/// allocation: max_depth bounds container nesting (the recursion depth of
+/// the parser), max_bytes rejects documents over the byte budget before a
+/// single byte is parsed (0 = no byte budget). The defaults protect every
+/// caller against stack exhaustion while staying far above anything the
+/// writer emits.
+struct JsonLimits {
+  std::size_t max_bytes = 0;
+  int max_depth = 128;
+};
+
 /// Parses one JSON document (trailing whitespace allowed, nothing else).
-/// Throws ParseError with line/column on malformed input.
-JsonValue parse_json(std::string_view text);
+/// Throws ParseError with line/column on malformed input, including input
+/// that violates `limits`.
+JsonValue parse_json(std::string_view text, const JsonLimits& limits = {});
 
 /// Reads and parses a JSON file. Throws qspr::Error if unreadable.
 JsonValue parse_json_file(const std::string& path);

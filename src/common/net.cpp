@@ -1,0 +1,183 @@
+#include "common/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace qspr {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_address(const std::string& host, int port) {
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1) {
+    throw Error("not an IPv4 address: " + host);
+  }
+  return address;
+}
+
+}  // namespace
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int FileDescriptor::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void FileDescriptor::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+IoResult read_some(int fd, char* buffer, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n > 0) return {IoStatus::Ok, static_cast<std::size_t>(n)};
+    if (n == 0) return {IoStatus::Closed, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    return {IoStatus::Error, 0};
+  }
+}
+
+IoResult write_some(int fd, std::string_view data) {
+  for (;;) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::Ok, static_cast<std::size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::WouldBlock, 0};
+    }
+    return {IoStatus::Error, 0};
+  }
+}
+
+ListenSocket::ListenSocket(const std::string& host, int port, int backlog) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in address = make_address(host, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    fail_errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), backlog) != 0) fail_errno("listen");
+  set_nonblocking(fd.get());
+
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_size) != 0) {
+    fail_errno("getsockname");
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  fd_ = std::move(fd);
+}
+
+FileDescriptor ListenSocket::accept_client() {
+  for (;;) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) {
+      FileDescriptor fd(client);
+      set_nonblocking(client);
+      const int enable = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    // No pending client, or a transient/per-connection accept failure
+    // (aborted handshake, fd pressure): the daemon keeps serving either way.
+    return FileDescriptor();
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) fail_errno("pipe");
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+}
+
+void WakePipe::notify() const {
+  // One byte; a full pipe already guarantees a pending wake-up. write() is
+  // async-signal-safe, so a SIGTERM handler may call this.
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::drain() const {
+  char sink[64];
+  while (::read(read_end_.get(), sink, sizeof(sink)) > 0) {
+  }
+}
+
+int poll_fds(std::vector<PollEntry>& entries, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(entries.size());
+  for (const PollEntry& entry : entries) {
+    pollfd p{};
+    p.fd = entry.fd;
+    p.events = static_cast<short>((entry.want_read ? POLLIN : 0) |
+                                  (entry.want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;
+    fail_errno("poll");
+  }
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].readable = (fds[i].revents & POLLIN) != 0;
+    entries[i].writable = (fds[i].revents & POLLOUT) != 0;
+    entries[i].broken =
+        (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+  }
+  return ready;
+}
+
+FileDescriptor connect_client(const std::string& host, int port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  sockaddr_in address = make_address(host, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    fail_errno("connect " + host + ":" + std::to_string(port));
+  }
+  const int enable = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return fd;
+}
+
+}  // namespace qspr

@@ -1,0 +1,123 @@
+// Minimal POSIX TCP plumbing for the mapping daemon: RAII file descriptors,
+// a loopback-friendly listener with ephemeral-port support, non-blocking
+// reads/writes that map EAGAIN/EPIPE-style conditions onto a small result
+// enum, and a poll() wrapper — just enough socket surface for a
+// single-threaded event loop, deliberately not a networking library.
+//
+// Everything reports failure by throwing qspr::Error (setup) or returning a
+// status (per-connection I/O): a daemon must never die because one client
+// misbehaved, so nothing in here raises signals (SIGPIPE is suppressed per
+// send) or exits.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qspr {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.release()) {}
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+  ~FileDescriptor() { reset(); }
+
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int get() const { return fd_; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of one non-blocking read/write attempt.
+enum class IoStatus : std::uint8_t {
+  Ok,         // made progress (bytes > 0)
+  WouldBlock, // nothing transferable right now (EAGAIN/EWOULDBLOCK)
+  Closed,     // orderly EOF (read) — peer finished sending
+  Error,      // connection-level failure (ECONNRESET, EPIPE, ...)
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::Ok;
+  std::size_t bytes = 0;
+};
+
+/// Sets O_NONBLOCK. Throws qspr::Error on fcntl failure.
+void set_nonblocking(int fd);
+
+/// Non-blocking read into `buffer` (up to buffer.size() bytes).
+IoResult read_some(int fd, char* buffer, std::size_t size);
+
+/// Non-blocking write of `data`; partial writes report the bytes consumed.
+/// SIGPIPE is suppressed (MSG_NOSIGNAL).
+IoResult write_some(int fd, std::string_view data);
+
+/// Listening TCP socket bound to `host:port` (port 0 = kernel-assigned;
+/// the bound port is then readable via port()). Non-blocking, SO_REUSEADDR.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  /// Throws qspr::Error when the address cannot be bound.
+  ListenSocket(const std::string& host, int port, int backlog = 64);
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  [[nodiscard]] int fd() const { return fd_.get(); }
+  [[nodiscard]] int port() const { return port_; }
+
+  /// Accepts one pending connection as a non-blocking fd, or an invalid
+  /// descriptor when none is pending. Throws only on unrecoverable accept
+  /// failures (EMFILE and transient errors return invalid instead).
+  FileDescriptor accept_client();
+
+  void close() { fd_.reset(); }
+
+ private:
+  FileDescriptor fd_;
+  int port_ = 0;
+};
+
+/// Self-pipe for waking a poll loop from other threads or signal handlers:
+/// notify() writes one byte (async-signal-safe), drain() empties the pipe.
+class WakePipe {
+ public:
+  /// Throws qspr::Error when the pipe cannot be created.
+  WakePipe();
+
+  [[nodiscard]] int read_fd() const { return read_end_.get(); }
+  void notify() const;
+  void drain() const;
+
+ private:
+  FileDescriptor read_end_;
+  FileDescriptor write_end_;
+};
+
+/// One poll() registration/result. `readable`/`writable`/`broken` are the
+/// revents decoded after poll_fds returns.
+struct PollEntry {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  bool readable = false;
+  bool writable = false;
+  bool broken = false;  // POLLERR | POLLHUP | POLLNVAL
+};
+
+/// poll(2) over `entries` with `timeout_ms` (<0 = infinite). Returns the
+/// number of entries with events; EINTR counts as zero events.
+int poll_fds(std::vector<PollEntry>& entries, int timeout_ms);
+
+/// Blocking client connect to host:port (test harness / load generator
+/// side). Throws qspr::Error on failure. The returned fd is *blocking*.
+FileDescriptor connect_client(const std::string& host, int port);
+
+}  // namespace qspr

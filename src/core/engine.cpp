@@ -158,6 +158,9 @@ MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
           "MapJob needs a program and a fabric");
   require(job.options.route_jobs >= 1,
           "MapJob needs at least one route worker (route_jobs >= 1)");
+  // A job cancelled (or expired) before staging fails here, before any
+  // artifact build or trial submission consumes shared capacity.
+  job.cancel.check();
   const MapperOptions& options = job.options;
 
   auto state = std::make_unique<PendingState>();
@@ -195,7 +198,9 @@ MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
     state->single->initial = center_placement_from(
         artifacts.traps_near_center, job.program->qubit_count());
     state->single_job = executor_.submit(
-        1, [s = state.get(), keep = state->artifacts](std::size_t, int) {
+        1, [s = state.get(), keep = state->artifacts,
+            cancel = job.cancel](std::size_t, int) {
+          cancel.check();
           const ThreadCpuTimer watch;
           s->single->execution =
               execute_circuit(s->qidg, keep->fabric, keep->graph, s->rank,
@@ -207,14 +212,14 @@ MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
     state->mc_run = monte_carlo_submit(
         state->qidg, artifacts.fabric, artifacts.graph, state->rank,
         state->exec, options.monte_carlo_trials, options.rng_seed, executor_,
-        &artifacts.traps_near_center);
+        &artifacts.traps_near_center, job.cancel);
   } else {
     state->flow = PendingState::Flow::Mvfb;
     state->mvfb = std::make_unique<MvfbPlacer>(
         state->qidg, artifacts.fabric, artifacts.graph, state->rank,
         state->exec,
         MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed,
-                    executor_.worker_count()},
+                    executor_.worker_count(), job.cancel},
         &artifacts.traps_near_center);
     state->mvfb_run = state->mvfb->submit(executor_);
   }

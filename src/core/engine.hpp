@@ -33,6 +33,7 @@
 #include <string>
 
 #include "circuit/program.hpp"
+#include "common/cancel.hpp"
 #include "common/executor.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/mapper.hpp"
@@ -42,11 +43,19 @@ namespace qspr {
 /// One unit of mapping work for the engine: which program, onto which
 /// fabric, under which per-job options (placer, trial budget, RNG seed,
 /// ablation overrides — see MapperOptions). `name` labels batch records.
+///
+/// `cancel` (optional) is polled between placement trials and between a
+/// seed's forward/backward runs: a cancelled or deadline-expired job
+/// abandons its remaining trials and finish() rethrows the CancelledError,
+/// exactly like any other per-job trial failure — neighbours sharing the
+/// executor are unaffected, and a job whose token never fires is
+/// bit-identical to one staged without a token.
 struct MapJob {
   const Program* program = nullptr;
   const Fabric* fabric = nullptr;
   MapperOptions options;
   std::string name;
+  CancelToken cancel;
 };
 
 class MappingEngine {

@@ -51,7 +51,8 @@ MonteCarloRun monte_carlo_submit(const DependencyGraph& qidg,
                                  const ExecutionOptions& exec_options,
                                  int trials, std::uint64_t rng_seed,
                                  Executor& executor,
-                                 const std::vector<TrapId>* traps_near_center) {
+                                 const std::vector<TrapId>* traps_near_center,
+                                 CancelToken cancel) {
   require(trials >= 1, "Monte Carlo placer needs at least one trial");
   auto state = std::make_shared<MonteCarloState>(qidg, fabric, routing_graph,
                                                  rank, exec_options);
@@ -79,7 +80,11 @@ MonteCarloRun monte_carlo_submit(const DependencyGraph& qidg,
   MonteCarloRun run;
   run.state_ = state;
   run.job_ = executor.submit(
-      static_cast<std::size_t>(trials), [state](std::size_t trial, int worker) {
+      static_cast<std::size_t>(trials),
+      [state, cancel](std::size_t trial, int worker) {
+        // Cooperative cancellation boundary: a fired token abandons this
+        // job's remaining trials (per-job error capture), never mid-trial.
+        cancel.check();
         TrialContext& ctx = state->contexts[static_cast<std::size_t>(worker)];
         const ThreadCpuTimer watch;
         ctx.rng = state->trial_rngs[trial];

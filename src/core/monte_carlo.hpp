@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "circuit/dependency_graph.hpp"
+#include "common/cancel.hpp"
 #include "common/executor.hpp"
 #include "sim/event_sim.hpp"
 
@@ -48,7 +49,8 @@ class MonteCarloRun {
       const DependencyGraph& qidg, const Fabric& fabric,
       const RoutingGraph& routing_graph, const std::vector<int>& rank,
       const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
-      Executor& executor, const std::vector<TrapId>* traps_near_center);
+      Executor& executor, const std::vector<TrapId>* traps_near_center,
+      CancelToken cancel);
   friend MonteCarloResult monte_carlo_collect(Executor& executor,
                                               MonteCarloRun& run);
   std::shared_ptr<struct MonteCarloState> state_;
@@ -58,12 +60,15 @@ class MonteCarloRun {
 /// Submits `trials` random center placements as one job on `executor`
 /// (non-blocking). `traps_near_center` (optional) is a precomputed
 /// traps-by-center table that must outlive the run; when null the run
-/// derives its own once.
+/// derives its own once. `cancel` (optional) is polled at the start of
+/// every trial: once it fires, remaining trials throw CancelledError and
+/// collect() rethrows it (per-job, neighbours unaffected).
 [[nodiscard]] MonteCarloRun monte_carlo_submit(
     const DependencyGraph& qidg, const Fabric& fabric,
     const RoutingGraph& routing_graph, const std::vector<int>& rank,
     const ExecutionOptions& exec_options, int trials, std::uint64_t rng_seed,
-    Executor& executor, const std::vector<TrapId>* traps_near_center = nullptr);
+    Executor& executor, const std::vector<TrapId>* traps_near_center = nullptr,
+    CancelToken cancel = {});
 
 /// Waits for the submitted trials and merges the winner deterministically by
 /// (latency, trial index). Rethrows the lowest-trial-index failure, if any.

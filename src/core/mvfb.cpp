@@ -74,6 +74,8 @@ MvfbPlacer::SeedOutcome MvfbPlacer::run_seed(
 
   while (non_improving < options_.stop_after &&
          out.runs < options_.max_runs_per_seed) {
+    // Cancellation boundary: between placement runs, never mid-execution.
+    options_.cancel.check();
     // Forward placement run: QIDG in schedule order S.
     const ExecutionResult forward = forward_sim_.run(placement, arena);
     ++out.runs;
@@ -83,6 +85,7 @@ MvfbPlacer::SeedOutcome MvfbPlacer::run_seed(
       break;
     }
 
+    options_.cancel.check();
     // Backward placement run: UIDG in reversed order S*, starting from the
     // forward run's final placement.
     const ExecutionResult backward =

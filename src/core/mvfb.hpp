@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "circuit/dependency_graph.hpp"
+#include "common/cancel.hpp"
 #include "common/executor.hpp"
 #include "common/rng.hpp"
 #include "core/scheduler.hpp"
@@ -49,6 +50,11 @@ struct MvfbOptions {
   /// are forked up front by seed index and the winner is the
   /// (latency, seed index) minimum.
   int jobs = 1;
+  /// Optional cooperative cancellation, polled before every placement run
+  /// (each forward or backward execution): once fired, remaining seeds
+  /// throw CancelledError and collect() rethrows it per the executor's
+  /// per-job fault capture. A token that never fires changes nothing.
+  CancelToken cancel;
 };
 
 struct MvfbResult {

@@ -1,0 +1,141 @@
+// Admission control for the mapping daemon: a bounded job queue with
+// explicit backpressure, plus the service metrics a `stats` request reports.
+//
+// The daemon never buffers unboundedly. A map request either takes a queue
+// slot immediately or is rejected with an explicit retry-after reply — the
+// load-shedding generalisation of the BatchMapper's bounded in-flight
+// pipeline. Slots are released on every exit path: completion, failure,
+// cancellation, deadline expiry, and drain, which the fault-injection suite
+// asserts by flooding the queue and then demanding it come back empty.
+//
+// AdmissionQueue is deliberately engine-agnostic (it queues ServeTickets,
+// not sockets or programs), so the overload and drain behaviour unit-tests
+// without a single byte of network I/O.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "service/request_codec.hpp"
+
+namespace qspr {
+
+/// One admitted map request, queued between the connection layer and the
+/// mapper threads. The cancel source is shared with the connection's
+/// in-flight registry so a client cancel / disconnect / drain can fire it
+/// while the ticket sits in the queue or runs on a mapper thread.
+struct ServeTicket {
+  std::uint64_t connection = 0;
+  ServeRequest request;
+  CancelSource cancel;
+  std::chrono::steady_clock::time_point admitted_at;
+};
+
+/// Why try_admit refused a ticket.
+enum class AdmitError : std::uint8_t { QueueFull, Draining };
+
+/// Bounded MPSC/MPMC ticket queue with drain support.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(int max_depth);
+
+  /// Takes a queue slot or reports why not; never blocks.
+  [[nodiscard]] bool try_admit(std::shared_ptr<ServeTicket> ticket,
+                               AdmitError& why);
+
+  /// Blocks for the next ticket; nullptr once the queue is closed *and*
+  /// empty (mapper threads exit on nullptr; close() never drops queued
+  /// tickets — drain cancels them instead, and each still flows through a
+  /// mapper thread to produce its reply).
+  [[nodiscard]] std::shared_ptr<ServeTicket> pop();
+
+  /// Stops admission (try_admit reports Draining) without waking poppers.
+  void begin_drain();
+  /// Stops admission and wakes every blocked pop() once drained.
+  void close();
+
+  /// Fires every queued ticket's cancel source (drain deadline).
+  void cancel_queued();
+
+  [[nodiscard]] int depth() const;
+  [[nodiscard]] bool draining() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::shared_ptr<ServeTicket>> queue_;
+  int max_depth_;
+  bool draining_ = false;
+  bool closed_ = false;
+};
+
+/// Monotonic service counters plus a bounded reservoir of recent per-request
+/// mapping CPU times for p50/p99. All methods thread-safe.
+class ServeMetrics {
+ public:
+  struct Snapshot {
+    long long accepted = 0;
+    long long rejected = 0;    // backpressure replies (queue full / draining)
+    long long completed = 0;   // ok:true map replies
+    long long failed = 0;      // map_failed replies
+    long long cancelled = 0;   // client-cancel + drain-cancel replies
+    long long expired = 0;     // deadline replies
+    long long bad_requests = 0;
+    long long connections_opened = 0;
+    long long connections_failed = 0;  // closed for cause (oversize, slow, io)
+    int in_flight = 0;
+    double p50_trial_cpu_ms = 0.0;
+    double p99_trial_cpu_ms = 0.0;
+    int latency_samples = 0;
+  };
+
+  void count_accepted() { bump(&Counters::accepted); }
+  void count_rejected() { bump(&Counters::rejected); }
+  void count_completed() { bump(&Counters::completed); }
+  void count_failed() { bump(&Counters::failed); }
+  void count_cancelled() { bump(&Counters::cancelled); }
+  void count_expired() { bump(&Counters::expired); }
+  void count_bad_request() { bump(&Counters::bad_requests); }
+  void count_connection_opened() { bump(&Counters::connections_opened); }
+  void count_connection_failed() { bump(&Counters::connections_failed); }
+
+  void enter_flight();
+  void leave_flight();
+
+  /// Records one completed request's trial CPU time into the percentile
+  /// reservoir (ring of the most recent kReservoirCapacity samples).
+  void record_trial_cpu_ms(double ms);
+
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kReservoirCapacity = 1024;
+
+  struct Counters {
+    long long accepted = 0;
+    long long rejected = 0;
+    long long completed = 0;
+    long long failed = 0;
+    long long cancelled = 0;
+    long long expired = 0;
+    long long bad_requests = 0;
+    long long connections_opened = 0;
+    long long connections_failed = 0;
+  };
+
+  void bump(long long Counters::* counter);
+
+  mutable std::mutex mutex_;
+  Counters counters_;
+  int in_flight_ = 0;
+  std::vector<double> reservoir_;
+  std::size_t reservoir_next_ = 0;
+};
+
+}  // namespace qspr

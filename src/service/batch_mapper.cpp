@@ -32,6 +32,7 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
   struct InFlight {
     std::size_t index = 0;
     std::unique_ptr<Program> owned_program;
+    std::shared_ptr<const Fabric> owned_fabric;
     MappingEngine::PendingMap pending;
   };
   std::deque<InFlight> in_flight;
@@ -76,14 +77,20 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
             std::make_unique<Program>(parse_qasm_file(job.qasm_path));
         program = entry.owned_program.get();
       }
-      require(job.fabric != nullptr, "batch job needs a fabric");
+      const Fabric* fabric = job.fabric;
+      if (!job.fabric_spec.empty()) {
+        record.fabric = job.fabric_spec;
+        entry.owned_fabric = fabrics_.get(job.fabric_spec);
+        fabric = entry.owned_fabric.get();
+      }
+      require(fabric != nullptr, "batch job needs a fabric");
       record.qubits = program->qubit_count();
       record.instructions = program->instruction_count();
       if (record.name.empty()) record.name = program->name();
 
       MapJob map_job;
       map_job.program = program;
-      map_job.fabric = job.fabric;
+      map_job.fabric = fabric;
       map_job.options = job.options;
       map_job.name = record.name;
       entry.pending = engine_->begin(map_job);
@@ -117,6 +124,7 @@ std::string batch_record_json(const BatchJobRecord& record) {
   JsonWriter json;
   json.begin_object();
   json.field("name", record.name);
+  if (!record.fabric.empty()) json.field("fabric", record.fabric);
   json.field("ok", record.ok);
   if (!record.ok) {
     json.field("error", record.error);

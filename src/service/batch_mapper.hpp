@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "service/request_codec.hpp"
 
 namespace qspr {
 
@@ -43,12 +44,21 @@ struct BatchJob {
   std::string qasm_path;
   const Program* program = nullptr;
   const Fabric* fabric = nullptr;
+  /// Per-record fabric spec, overriding `fabric` when non-empty: "paper"
+  /// names the built-in 45x85 fabric, anything else a fabric drawing path.
+  /// Resolved through a shared FabricSource when the job is staged — a bad
+  /// drawing fails only this record, and records naming the same spec share
+  /// one parsed Fabric (and its cached routing artifacts). This is the same
+  /// `fabric` field a qspr_serve map request carries.
+  std::string fabric_spec;
   MapperOptions options;
 };
 
 /// Outcome of one manifest entry.
 struct BatchJobRecord {
   std::string name;
+  /// The per-record fabric spec, when the job carried one.
+  std::string fabric;
   bool ok = false;
   /// Diagnostic when !ok (parse error, infeasible fabric, stalled
   /// execution, ...).
@@ -106,6 +116,8 @@ class BatchMapper {
  private:
   MappingEngine* engine_;
   BatchOptions options_;
+  /// Resolves per-record fabric specs; caches by spec across batches.
+  FabricSource fabrics_;
 };
 
 /// One JSONL line (no trailing newline) for a record / the batch summary.

@@ -1,0 +1,520 @@
+#include "service/serve_loop.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "qasm/parser.hpp"
+
+namespace qspr {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+/// Poll-thread-only connection state. `pending` maps an in-flight map
+/// request id to its ticket, which is where client cancels and disconnect /
+/// drain cancellation find the CancelSource to fire.
+struct MappingServer::Connection {
+  Connection(std::uint64_t id_in, FileDescriptor fd_in,
+             std::size_t max_frame_bytes)
+      : id(id_in), fd(std::move(fd_in)), reader(max_frame_bytes) {}
+
+  std::uint64_t id;
+  FileDescriptor fd;
+  FrameReader reader;
+  std::string outbox;
+  std::size_t outbox_at = 0;
+  bool read_closed = false;       // orderly EOF: no more requests
+  bool close_after_flush = false; // closed for cause once the outbox drains
+  bool broken = false;            // destroy immediately, drop the outbox
+  std::unordered_map<std::string, std::shared_ptr<ServeTicket>> pending;
+
+  [[nodiscard]] bool outbox_empty() const { return outbox_at >= outbox.size(); }
+};
+
+MappingServer::MappingServer(ServeOptions options)
+    : options_(std::move(options)),
+      engine_(options_.workers),
+      queue_(options_.max_queue) {
+  require(options_.mapper_threads >= 1, "qspr_serve needs >= 1 mapper thread");
+  require(options_.max_connections >= 1, "qspr_serve needs >= 1 connection");
+  codec_limits_.max_frame_bytes = options_.max_frame_bytes;
+}
+
+MappingServer::~MappingServer() {
+  // serve() normally joins the mappers; cover construction-only lifetimes
+  // (tests that start() then throw) so threads never outlive the object.
+  queue_.close();
+  for (std::thread& thread : mappers_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void MappingServer::start() {
+  require(!started_, "start() called twice");
+  listen_ = ListenSocket(options_.host, options_.port);
+  mappers_.reserve(static_cast<std::size_t>(options_.mapper_threads));
+  for (int i = 0; i < options_.mapper_threads; ++i) {
+    mappers_.emplace_back([this] { mapper_loop(); });
+  }
+  started_ = true;
+}
+
+int MappingServer::port() const { return listen_.port(); }
+
+ServeMetrics::Snapshot MappingServer::metrics() const {
+  return metrics_.snapshot();
+}
+
+void MappingServer::request_drain() {
+  drain_requested_.store(true, std::memory_order_relaxed);
+  wake_.notify();
+}
+
+// ---------------------------------------------------------------------------
+// Mapper threads: ticket -> reply line.
+
+void MappingServer::mapper_loop() {
+  while (std::shared_ptr<ServeTicket> ticket = queue_.pop()) {
+    metrics_.enter_flight();
+    std::string line = process_ticket(*ticket);
+    metrics_.leave_flight();
+    {
+      const std::lock_guard<std::mutex> lock(completions_mutex_);
+      completions_.push_back(
+          {ticket->connection, ticket->request.id, std::move(line)});
+    }
+    wake_.notify();
+  }
+}
+
+std::string MappingServer::process_ticket(const ServeTicket& ticket) {
+  const auto started = std::chrono::steady_clock::now();
+  const double queue_ms = ms_between(ticket.admitted_at, started);
+  const std::string& id = ticket.request.id;
+  const CancelToken token = ticket.cancel.token();
+
+  // A ticket cancelled or expired while queued releases its slot without
+  // ever touching the engine.
+  switch (token.reason()) {
+    case CancelReason::Cancelled:
+      metrics_.count_cancelled();
+      return serve_error_json(id, "cancelled",
+                              "request cancelled before mapping started");
+    case CancelReason::DeadlineExpired:
+      metrics_.count_expired();
+      return serve_error_json(id, "deadline",
+                              "deadline expired while queued");
+    case CancelReason::None:
+      break;
+  }
+
+  try {
+    const Program program = parse_qasm(ticket.request.qasm, id);
+    const std::shared_ptr<const Fabric> fabric =
+        fabrics_.get(ticket.request.fabric);
+    MapJob job;
+    job.program = &program;
+    job.fabric = fabric.get();
+    job.options = ticket.request.options;
+    job.name = id;
+    job.cancel = token;
+    MapResult result = engine_.finish(engine_.begin(job));
+    const double map_ms =
+        ms_between(started, std::chrono::steady_clock::now());
+    metrics_.count_completed();
+    metrics_.record_trial_cpu_ms(result.trial_cpu_ms);
+    return serve_result_json(id, result, queue_ms, map_ms);
+  } catch (const CancelledError& e) {
+    if (e.reason() == CancelReason::DeadlineExpired) {
+      metrics_.count_expired();
+      return serve_error_json(id, "deadline", "deadline expired during mapping");
+    }
+    metrics_.count_cancelled();
+    return serve_error_json(id, "cancelled", "request cancelled");
+  } catch (const std::exception& e) {
+    // QASM parse errors, unknown fabric specs, infeasible placements: the
+    // request was well-formed but the mapping failed. The connection
+    // survives; the diagnostic rides the reply.
+    metrics_.count_failed();
+    return serve_error_json(id, "map_failed", e.what());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop.
+
+int MappingServer::serve() {
+  require(started_, "serve() needs start()");
+
+  std::vector<PollEntry> entries;
+  std::vector<std::uint64_t> entry_conn;
+  std::vector<std::uint64_t> scratch_ids;
+
+  // Observes a drain request (SIGTERM or API): stop accepting, stop
+  // admitting, arm the drain deadline. Checked at the top of every
+  // iteration AND immediately after poll() returns, so a request frame that
+  // arrives in the same wakeup as the drain signal is already refused —
+  // the store in request_drain() happens-before anything a client sends
+  // after calling it.
+  const auto observe_drain = [&] {
+    if (!draining_ && drain_requested_.load(std::memory_order_relaxed)) {
+      draining_ = true;
+      listen_.close();
+      queue_.begin_drain();
+      drain_deadline_ =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(
+              static_cast<long long>(options_.drain_deadline_ms * 1000.0));
+    }
+  };
+
+  // Reap: broken connections immediately; for-cause closes and orderly
+  // EOFs once their replies are flushed (EOF additionally waits for
+  // in-flight requests, so shutdown(SHUT_WR) clients still get answers).
+  // Must run after anything that can change reapability — connection I/O
+  // and completion delivery — and always before the next poll(), because a
+  // reapable connection wants no events and would never wake it.
+  const auto reap = [&] {
+    scratch_ids.clear();
+    for (const auto& [id, conn] : connections_) {
+      const bool flushed = conn->outbox_empty();
+      if (conn->broken || (conn->close_after_flush && flushed) ||
+          (conn->read_closed && flushed && conn->pending.empty())) {
+        scratch_ids.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : scratch_ids) destroy_connection(id);
+  };
+
+  while (true) {
+    observe_drain();
+    // Past the drain deadline, cancel whatever is still queued or running;
+    // every ticket still produces a reply (cancelled), so slots drain.
+    if (draining_ && !drain_cancelled_ &&
+        std::chrono::steady_clock::now() >= drain_deadline_) {
+      drain_cancelled_ = true;
+      queue_.cancel_queued();
+      for (auto& [id, conn] : connections_) {
+        for (auto& [rid, ticket] : conn->pending) ticket->cancel.request_cancel();
+      }
+    }
+
+    deliver_completions();
+    reap();
+
+    if (draining_ && quiescent()) break;
+
+    // Build this round's poll set.
+    entries.clear();
+    entry_conn.clear();
+    entries.push_back({wake_.read_fd(), /*want_read=*/true});
+    entry_conn.push_back(0);
+    if (listen_.valid()) {
+      entries.push_back({listen_.fd(), /*want_read=*/true});
+      entry_conn.push_back(0);
+    }
+    const std::size_t first_conn_entry = entries.size();
+    for (const auto& [id, conn] : connections_) {
+      PollEntry entry;
+      entry.fd = conn->fd.get();
+      entry.want_read = !conn->read_closed && !conn->close_after_flush;
+      entry.want_write = !conn->outbox_empty();
+      entries.push_back(entry);
+      entry_conn.push_back(id);
+    }
+
+    int timeout_ms = -1;
+    if (draining_ && !drain_cancelled_) {
+      const double remaining = ms_between(std::chrono::steady_clock::now(),
+                                          drain_deadline_);
+      timeout_ms = std::max(0, static_cast<int>(remaining) + 1);
+    }
+    poll_fds(entries, timeout_ms);
+    observe_drain();
+
+    if (entries[0].readable) wake_.drain();
+    if (listen_.valid() && entries.size() > 1 && entries[1].readable) {
+      accept_clients();
+    }
+
+    // Connection I/O. Work over a snapshot of ids: handlers may destroy.
+    for (std::size_t i = first_conn_entry; i < entries.size(); ++i) {
+      const std::uint64_t id = entry_conn[i];
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      if (entries[i].broken) {
+        conn.broken = true;
+        continue;
+      }
+      if (entries[i].readable) read_from(conn);
+      if (entries[i].writable && !conn.outbox_empty()) flush_outbox(conn);
+    }
+
+    reap();
+  }
+
+  // Drained: stop the mappers (the queue is already empty — quiescent()
+  // saw depth 0 and in-flight 0), flush what the loop produced, exit clean.
+  queue_.close();
+  for (std::thread& thread : mappers_) thread.join();
+  connections_.clear();
+  return 0;
+}
+
+bool MappingServer::quiescent() {
+  if (queue_.depth() != 0) return false;
+  if (metrics_.snapshot().in_flight != 0) return false;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    if (!completions_.empty()) return false;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (conn->broken) continue;  // dropped regardless
+    if (!conn->pending.empty() || !conn->outbox_empty()) return false;
+  }
+  return true;
+}
+
+void MappingServer::accept_clients() {
+  while (true) {
+    FileDescriptor client = listen_.accept_client();
+    if (!client.valid()) return;
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      // Best-effort refusal; the daemon sheds connections, never queues them.
+      const std::string refusal =
+          serve_error_json("", "overloaded", "connection limit reached",
+                           options_.retry_after_ms) +
+          "\n";
+      (void)write_some(client.get(), refusal);
+      metrics_.count_connection_failed();
+      continue;
+    }
+    const std::uint64_t id = next_connection_id_++;
+    connections_.emplace(
+        id, std::make_unique<Connection>(id, std::move(client),
+                                         options_.max_frame_bytes));
+    metrics_.count_connection_opened();
+  }
+}
+
+void MappingServer::read_from(Connection& conn) {
+  char buffer[16384];
+  std::vector<std::string> frames;
+  while (!conn.close_after_flush && !conn.broken) {
+    const IoResult io = read_some(conn.fd.get(), buffer, sizeof buffer);
+    if (io.status == IoStatus::WouldBlock) return;
+    if (io.status == IoStatus::Closed) {
+      // Orderly EOF. A non-empty partial frame is a mid-message disconnect:
+      // the truncated request is dropped (never half-parsed), and only this
+      // connection winds down.
+      conn.read_closed = true;
+      return;
+    }
+    if (io.status == IoStatus::Error) {
+      conn.broken = true;
+      metrics_.count_connection_failed();
+      return;
+    }
+    frames.clear();
+    if (!conn.reader.feed(std::string_view(buffer, io.bytes), frames)) {
+      // Frame over the byte cap: resynchronising inside it is guesswork, so
+      // answer once and close. Frames completed before the overflow still
+      // get handled below.
+      metrics_.count_bad_request();
+      enqueue_reply(conn,
+                    serve_error_json("", "oversized",
+                                     "frame exceeds max_frame_bytes; closing"));
+      conn.close_after_flush = true;
+    }
+    for (const std::string& frame : frames) {
+      if (frame.empty()) continue;  // blank keep-alive lines are free
+      handle_frame(conn, frame);
+      if (conn.close_after_flush || conn.broken) break;
+    }
+  }
+}
+
+void MappingServer::handle_frame(Connection& conn, std::string_view frame) {
+  ServeRequest request;
+  try {
+    request = parse_serve_request(frame, codec_limits_,
+                                  options_.default_options);
+  } catch (const std::exception& e) {
+    // One malformed frame costs one reply; the connection (and every other
+    // client) is untouched.
+    metrics_.count_bad_request();
+    enqueue_reply(conn, serve_error_json("", "bad_request", e.what()));
+    return;
+  }
+  switch (request.kind) {
+    case RequestKind::Ping:
+      enqueue_reply(conn, serve_pong_json(request.id));
+      return;
+    case RequestKind::Stats:
+      enqueue_reply(conn, stats_json(request.id));
+      return;
+    case RequestKind::Cancel: {
+      const auto it = conn.pending.find(request.cancel_target);
+      const bool found = it != conn.pending.end();
+      // Fire-and-ack: the cancelled request still produces its own
+      // `cancelled` reply when its ticket surfaces from the queue/engine.
+      if (found) it->second->cancel.request_cancel();
+      enqueue_reply(conn,
+                    serve_cancel_ack_json(request.id, request.cancel_target,
+                                          found));
+      return;
+    }
+    case RequestKind::Map:
+      handle_map(conn, std::move(request));
+      return;
+  }
+}
+
+void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
+  if (conn.pending.count(request.id) != 0) {
+    metrics_.count_bad_request();
+    enqueue_reply(conn, serve_error_json(request.id, "bad_request",
+                                         "duplicate in-flight request id"));
+    return;
+  }
+  if (request.fabric.empty()) request.fabric = options_.default_fabric;
+
+  auto ticket = std::make_shared<ServeTicket>();
+  ticket->connection = conn.id;
+  ticket->admitted_at = std::chrono::steady_clock::now();
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  ticket->cancel.set_deadline_after_ms(deadline_ms);
+  ticket->request = std::move(request);
+
+  AdmitError why = AdmitError::QueueFull;
+  if (!queue_.try_admit(ticket, why)) {
+    metrics_.count_rejected();
+    if (why == AdmitError::Draining) {
+      enqueue_reply(conn, serve_error_json(ticket->request.id, "draining",
+                                           "daemon is draining; retry against "
+                                           "a healthy instance"));
+    } else {
+      enqueue_reply(conn,
+                    serve_error_json(ticket->request.id, "overloaded",
+                                     "admission queue full",
+                                     options_.retry_after_ms));
+    }
+    return;
+  }
+  conn.pending.emplace(ticket->request.id, std::move(ticket));
+  metrics_.count_accepted();
+}
+
+void MappingServer::enqueue_reply(Connection& conn, std::string line) {
+  if (conn.broken) return;
+  const std::size_t buffered = conn.outbox.size() - conn.outbox_at;
+  if (buffered + line.size() + 1 > options_.max_outbox_bytes) {
+    // Reader slower than the bound: cut it rather than buffer unboundedly.
+    conn.broken = true;
+    metrics_.count_connection_failed();
+    return;
+  }
+  // Compact the consumed prefix opportunistically before growing.
+  if (conn.outbox_at > 0 && conn.outbox_at == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.outbox_at = 0;
+  }
+  conn.outbox.append(line);
+  conn.outbox.push_back('\n');
+  flush_outbox(conn);
+}
+
+void MappingServer::flush_outbox(Connection& conn) {
+  while (conn.outbox_at < conn.outbox.size()) {
+    const IoResult io = write_some(
+        conn.fd.get(), std::string_view(conn.outbox).substr(conn.outbox_at));
+    if (io.status == IoStatus::Ok) {
+      conn.outbox_at += io.bytes;
+      continue;
+    }
+    if (io.status == IoStatus::WouldBlock) return;  // poll for POLLOUT
+    conn.broken = true;
+    metrics_.count_connection_failed();
+    return;
+  }
+  conn.outbox.clear();
+  conn.outbox_at = 0;
+}
+
+void MappingServer::deliver_completions() {
+  std::deque<Completion> ready;
+  {
+    const std::lock_guard<std::mutex> lock(completions_mutex_);
+    ready.swap(completions_);
+  }
+  for (Completion& done : ready) {
+    const auto it = connections_.find(done.connection);
+    if (it == connections_.end()) continue;  // client gone: reply dropped
+    it->second->pending.erase(done.request_id);
+    enqueue_reply(*it->second, std::move(done.line));
+  }
+}
+
+void MappingServer::destroy_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  // Cancel whatever this client still has queued or running: the slots
+  // drain (each ticket still produces a — now droppable — reply) and the
+  // engine stops burning trials for a reader that will never see them.
+  for (auto& [rid, ticket] : it->second->pending) {
+    ticket->cancel.request_cancel();
+  }
+  connections_.erase(it);
+}
+
+std::string MappingServer::stats_json(const std::string& id) {
+  const ServeMetrics::Snapshot snap = metrics_.snapshot();
+  const FabricArtifactCache::Stats cache = engine_.artifacts().stats();
+  const long long lookups = cache.builds + cache.hits;
+  JsonWriter json;
+  json.begin_object();
+  json.field("id", id);
+  json.field("ok", true);
+  json.key("stats").begin_object();
+  json.field("queue_depth", queue_.depth());
+  json.field("max_queue", options_.max_queue);
+  json.field("in_flight", snap.in_flight);
+  json.field("draining", draining_);
+  json.field("accepted", snap.accepted);
+  json.field("rejected", snap.rejected);
+  json.field("completed", snap.completed);
+  json.field("failed", snap.failed);
+  json.field("cancelled", snap.cancelled);
+  json.field("expired", snap.expired);
+  json.field("bad_requests", snap.bad_requests);
+  json.field("connections", static_cast<long long>(connections_.size()));
+  json.field("connections_opened", snap.connections_opened);
+  json.field("connections_failed", snap.connections_failed);
+  json.field("artifact_builds", cache.builds);
+  json.field("artifact_hits", cache.hits);
+  json.field("artifact_hit_rate",
+             lookups > 0 ? static_cast<double>(cache.hits) /
+                               static_cast<double>(lookups)
+                         : 0.0);
+  json.field("p50_trial_cpu_ms", snap.p50_trial_cpu_ms);
+  json.field("p99_trial_cpu_ms", snap.p99_trial_cpu_ms);
+  json.field("latency_samples", snap.latency_samples);
+  json.field("mapper_threads", options_.mapper_threads);
+  json.field("engine_workers", engine_.worker_count());
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace qspr

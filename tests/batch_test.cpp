@@ -309,5 +309,46 @@ TEST(JsonReader, ControlCharactersRoundTripThroughWriter) {
   EXPECT_EQ(parsed.string_or("error", ""), nasty);
 }
 
+// Hardening for network-facing input (the serve codec parses attacker-
+// controlled frames with this reader): truncated constructs must fail as
+// clean ParseErrors, never hangs or crashes.
+TEST(JsonReader, RejectsUnterminatedStringsAndContainersCleanly) {
+  EXPECT_THROW(parse_json(R"({"key":"never closed)"), ParseError);
+  EXPECT_THROW(parse_json(R"({"key":"escape at end\)"), ParseError);
+  EXPECT_THROW(parse_json(R"(["a","b")"), ParseError);
+  EXPECT_THROW(parse_json(R"({"a":{"b":1})"), ParseError);
+  EXPECT_THROW(parse_json("\""), ParseError);
+  EXPECT_THROW(parse_json(""), ParseError);
+}
+
+// Nesting depth is bounded: the parser recurses per container, so without
+// a cap a frame of 100k brackets is a stack overflow, not a ParseError.
+TEST(JsonReader, DeepNestingFailsAtTheLimitNotTheStack) {
+  const auto nested = [](int depth) {
+    return std::string(static_cast<std::size_t>(depth), '[') + "1" +
+           std::string(static_cast<std::size_t>(depth), ']');
+  };
+  JsonLimits limits;
+  limits.max_depth = 16;
+  EXPECT_NO_THROW(parse_json(nested(16), limits));
+  EXPECT_THROW(parse_json(nested(17), limits), ParseError);
+  // The default limit still bounds a hostile frame of 100k brackets.
+  EXPECT_THROW(parse_json(std::string(100'000, '[')), ParseError);
+}
+
+// The byte budget rejects oversized documents in O(1), before parsing.
+TEST(JsonReader, ByteBudgetRejectsOversizedDocumentsUpFront) {
+  JsonLimits limits;
+  limits.max_bytes = 32;
+  EXPECT_NO_THROW(parse_json(R"({"ok":true})", limits));
+  EXPECT_THROW(
+      parse_json(R"({"pad":"0123456789012345678901234567890123456789"})",
+                 limits),
+      ParseError);
+  // max_bytes = 0 means unlimited (the library default).
+  EXPECT_NO_THROW(parse_json(
+      R"({"pad":"0123456789012345678901234567890123456789"})"));
+}
+
 }  // namespace
 }  // namespace qspr

@@ -1,0 +1,487 @@
+// Deterministic fault-injection harness for qspr_serve's daemon core.
+//
+// ServeHarness runs a real MappingServer (real sockets on a kernel-assigned
+// loopback port, real mapper threads) inside the test process; RawClient
+// scripts byte-level client behaviour — truncated frames, garbage, huge
+// frames, disconnect-after-send, floods — against it. Every test asserts
+// the same three invariants the daemon is built around:
+//
+//   1. no fault ever takes down the daemon or a bystander connection;
+//   2. no fault leaks an admission slot: after the dust settles the queue
+//      is empty, nothing is in flight, and every accepted request was
+//      accounted as completed/failed/cancelled/expired;
+//   3. a served MapResult is bit-identical to a direct map_program run
+//      (compared via the process-stable result fingerprint).
+//
+// Determinism notes: queue-order tests pin mapper_threads = 1 so a slow
+// front job strictly serialises what sits behind it — cancellation and
+// deadline expiry are then observed while *queued*, which is exact, rather
+// than racing a running map.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/net.hpp"
+#include "core/qspr.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "service/request_codec.hpp"
+#include "service/serve_loop.hpp"
+
+namespace qspr {
+namespace {
+
+constexpr const char* kTinyQasm =
+    "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nH q0\nC-X q0,q1\nC-X q1,q2\n"
+    "MEASURE q2\n";
+
+/// In-process daemon under test. serve() runs on a background thread; the
+/// destructor drains and joins, and exit_code() reports serve()'s return.
+class ServeHarness {
+ public:
+  explicit ServeHarness(ServeOptions options = {}) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<MappingServer>(std::move(options));
+    server_->start();
+    thread_ = std::thread([this] { exit_code_ = server_->serve(); });
+  }
+
+  ~ServeHarness() { drain_and_join(); }
+
+  [[nodiscard]] int port() const { return server_->port(); }
+  [[nodiscard]] MappingServer& server() { return *server_; }
+
+  /// Requests a graceful drain and waits for serve() to return.
+  int drain_and_join() {
+    if (thread_.joinable()) {
+      server_->request_drain();
+      thread_.join();
+    }
+    return exit_code_;
+  }
+
+ private:
+  std::unique_ptr<MappingServer> server_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+/// Blocking scripted client with a receive timeout, so a daemon bug shows
+/// up as a test failure instead of a hung suite.
+class RawClient {
+ public:
+  explicit RawClient(int port, int recv_timeout_ms = 30000)
+      : fd_(connect_client("127.0.0.1", port)) {
+    timeval timeout{};
+    timeout.tv_sec = recv_timeout_ms / 1000;
+    timeout.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+
+  void send_raw(std::string_view bytes) {
+    std::string_view rest = bytes;
+    while (!rest.empty()) {
+      const IoResult io = write_some(fd_.get(), rest);
+      ASSERT_NE(io.status, IoStatus::Error) << "client write failed";
+      rest.remove_prefix(io.bytes);
+    }
+  }
+
+  void send_line(std::string_view line) {
+    send_raw(std::string(line) + "\n");
+  }
+
+  /// One response line, or "" on EOF / timeout.
+  std::string recv_line() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const IoResult io = read_some(fd_.get(), chunk, sizeof chunk);
+      if (io.status == IoStatus::Ok) {
+        buffer_.append(chunk, io.bytes);
+        continue;
+      }
+      if (io.status == IoStatus::WouldBlock) {
+        // Blocking socket: WouldBlock here means SO_RCVTIMEO expired.
+        return {};
+      }
+      return {};  // Closed or Error
+    }
+  }
+
+  JsonValue recv_json() {
+    const std::string line = recv_line();
+    EXPECT_FALSE(line.empty()) << "no reply before timeout/EOF";
+    return line.empty() ? JsonValue() : parse_json(line);
+  }
+
+  /// True when the server closed its side (EOF within the timeout).
+  bool reaches_eof() {
+    char chunk[256];
+    while (true) {
+      const IoResult io = read_some(fd_.get(), chunk, sizeof chunk);
+      if (io.status == IoStatus::Closed) return true;
+      if (io.status != IoStatus::Ok) return false;
+    }
+  }
+
+  void shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+  void disconnect() { fd_.reset(); }
+
+ private:
+  FileDescriptor fd_;
+  std::string buffer_;
+};
+
+std::string map_request(const std::string& id, int m, double deadline_ms = 0,
+                        const std::string& qasm = kTinyQasm) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("type", "map");
+  json.field("id", id);
+  json.field("qasm", qasm);
+  json.field("placer", "mc");
+  json.field("m", m);
+  json.field("seed", 1);
+  if (deadline_ms > 0) json.field("deadline_ms", deadline_ms);
+  json.end_object();
+  return json.str();
+}
+
+/// Invariant 2: nothing queued, nothing running, and the accepted ledger
+/// balances — the no-leaked-slots assertion every test ends with.
+void expect_no_leaked_slots(RawClient& client) {
+  client.send_line(R"({"type":"stats","id":"final"})");
+  const JsonValue reply = client.recv_json();
+  const JsonValue* stats = reply.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->number_or("queue_depth", -1), 0);
+  EXPECT_EQ(stats->number_or("in_flight", -1), 0);
+  EXPECT_EQ(stats->number_or("accepted", -1),
+            stats->number_or("completed", 0) + stats->number_or("failed", 0) +
+                stats->number_or("cancelled", 0) +
+                stats->number_or("expired", 0));
+}
+
+TEST(ServeFaultInjection, MapResultBitIdenticalToDirectMapProgram) {
+  ServeOptions options;
+  options.workers = 3;  // served trials run parallel; fingerprint must match
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  client.send_line(map_request("r1", 8));
+  const JsonValue reply = client.recv_json();
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(reply.string_or("id", ""), "r1");
+
+  // The same program, options, and seed mapped directly, single-threaded.
+  const Program program = parse_qasm(kTinyQasm, "r1");
+  const Fabric fabric = make_paper_fabric();
+  MapperOptions map_options;
+  map_options.placer = PlacerKind::MonteCarlo;
+  map_options.monte_carlo_trials = 8;
+  map_options.rng_seed = 1;
+  const MapResult direct = map_program(program, fabric, map_options);
+  EXPECT_EQ(reply.string_or("result_fp", ""), map_result_fingerprint(direct));
+  EXPECT_EQ(reply.number_or("latency_us", -1),
+            static_cast<double>(direct.latency));
+
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, GarbageFramesFailOnlyThemselves) {
+  ServeHarness harness;
+  RawClient client(harness.port());
+
+  client.send_line("this is not json");
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "bad_request");
+  client.send_line(R"({"type":"map","id":"x"})");  // well-formed, no qasm
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "bad_request");
+  client.send_line(R"([1,2,3])");  // JSON, wrong shape
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "bad_request");
+  client.send_line(R"({"type":"warp","id":"x"})");  // unknown type
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "bad_request");
+
+  // The connection survived all of it; real work still flows.
+  client.send_line(map_request("after", 4));
+  EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, HugeFrameClosesOnlyThatConnection) {
+  ServeOptions options;
+  options.max_frame_bytes = 1024;
+  ServeHarness harness(options);
+
+  RawClient bystander(harness.port());
+  RawClient attacker(harness.port());
+  // 2000 bytes of 'A' with no newline: overflows the 1 KiB frame cap
+  // mid-frame (and fits in one socket buffer, so the close stays orderly).
+  attacker.send_raw(std::string(2000, 'A'));
+  const JsonValue refusal = attacker.recv_json();
+  EXPECT_EQ(refusal.string_or("code", ""), "oversized");
+  EXPECT_TRUE(attacker.reaches_eof());
+
+  // The bystander's connection and the daemon itself are untouched.
+  bystander.send_line(map_request("by", 4));
+  EXPECT_TRUE(bystander.recv_json().bool_or("ok", false));
+
+  expect_no_leaked_slots(bystander);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, TruncatedFrameAndMidMessageDisconnect) {
+  ServeHarness harness;
+  {
+    RawClient cutter(harness.port());
+    // Half a request, no newline, then a hard disconnect.
+    cutter.send_raw(R"({"type":"map","id":"trunc","qasm":"QU)");
+    cutter.disconnect();
+  }
+  {
+    // Disconnect-after-send: a full request whose reply has nowhere to go.
+    RawClient ghost(harness.port());
+    ghost.send_line(map_request("ghost", 8));
+    ghost.disconnect();
+  }
+  // Wait until the ghost's request has been admitted AND settled (its
+  // dropped reply still counts as completed/cancelled), then verify from a
+  // fresh connection that the daemon is healthy and nothing leaked.
+  RawClient checker(harness.port());
+  for (int i = 0; i < 500; ++i) {
+    checker.send_line(R"({"type":"stats","id":"poll"})");
+    const JsonValue reply = checker.recv_json();
+    const JsonValue* stats = reply.find("stats");
+    ASSERT_NE(stats, nullptr);
+    const double accepted = stats->number_or("accepted", -1);
+    const double settled =
+        stats->number_or("completed", 0) + stats->number_or("failed", 0) +
+        stats->number_or("cancelled", 0) + stats->number_or("expired", 0);
+    if (accepted >= 1 && accepted == settled &&
+        stats->number_or("queue_depth", -1) == 0 &&
+        stats->number_or("in_flight", -1) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  checker.send_line(map_request("alive", 4));
+  EXPECT_TRUE(checker.recv_json().bool_or("ok", false));
+  expect_no_leaked_slots(checker);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, ShutdownWriteClientStillGetsItsReply) {
+  ServeHarness harness;
+  RawClient client(harness.port());
+  client.send_line(map_request("half", 4));
+  client.shutdown_write();  // polite half-close: "no more requests"
+  const JsonValue reply = client.recv_json();
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(reply.string_or("id", ""), "half");
+  EXPECT_TRUE(client.reaches_eof());
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, CancelWhileQueuedIsExactAndReleasesTheSlot) {
+  ServeOptions options;
+  options.mapper_threads = 1;  // serialise: "blocker" runs, "victim" queues
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  client.send_line(map_request("blocker", 400));
+  client.send_line(map_request("victim", 400));
+  client.send_line(R"({"type":"cancel","id":"c1","target":"victim"})");
+
+  // Replies: the cancel ack arrives first (poll thread), then the blocker's
+  // result, then the victim's `cancelled` — it never reached the engine.
+  const JsonValue ack = client.recv_json();
+  EXPECT_EQ(ack.string_or("id", ""), "c1");
+  EXPECT_TRUE(ack.bool_or("ok", false));
+
+  bool saw_blocker_ok = false;
+  bool saw_victim_cancelled = false;
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue reply = client.recv_json();
+    if (reply.string_or("id", "") == "blocker") {
+      saw_blocker_ok = reply.bool_or("ok", false);
+    } else if (reply.string_or("id", "") == "victim") {
+      saw_victim_cancelled = reply.string_or("code", "") == "cancelled";
+    }
+  }
+  EXPECT_TRUE(saw_blocker_ok);
+  EXPECT_TRUE(saw_victim_cancelled);
+
+  // Cancelling something unknown is an explicit, non-fatal reply.
+  client.send_line(R"({"type":"cancel","id":"c2","target":"nonesuch"})");
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "unknown_request");
+
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, DeadlineExpiresWhileQueuedBehindSlowJob) {
+  ServeOptions options;
+  options.mapper_threads = 1;
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  client.send_line(map_request("slow", 400));
+  client.send_line(map_request("hasty", 400, /*deadline_ms=*/1.0));
+
+  bool saw_slow_ok = false;
+  bool saw_hasty_deadline = false;
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue reply = client.recv_json();
+    if (reply.string_or("id", "") == "slow") {
+      saw_slow_ok = reply.bool_or("ok", false);
+    } else if (reply.string_or("id", "") == "hasty") {
+      saw_hasty_deadline = reply.string_or("code", "") == "deadline";
+    }
+  }
+  EXPECT_TRUE(saw_slow_ok);
+  EXPECT_TRUE(saw_hasty_deadline);
+
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, OverloadFloodShedsExplicitlyAndRecovers) {
+  ServeOptions options;
+  options.mapper_threads = 1;
+  options.max_queue = 2;
+  options.retry_after_ms = 25;
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  // One slow job occupies the mapper; a burst behind it overflows the
+  // 2-slot queue. Every request gets exactly one reply either way.
+  client.send_line(map_request("flood0", 400));
+  const int kBurst = 8;
+  for (int i = 1; i <= kBurst; ++i) {
+    client.send_line(map_request("flood" + std::to_string(i), 4));
+  }
+  int ok = 0;
+  int shed = 0;
+  for (int i = 0; i <= kBurst; ++i) {
+    const JsonValue reply = client.recv_json();
+    if (reply.bool_or("ok", false)) {
+      ++ok;
+    } else {
+      EXPECT_EQ(reply.string_or("code", ""), "overloaded");
+      EXPECT_EQ(reply.number_or("retry_after_ms", -1), 25);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst + 1);
+  EXPECT_GE(shed, 1);           // the burst overflowed
+  EXPECT_GE(ok, 2);             // the slow job + at least one queued job ran
+  // Shed clients that retry after the backlog clears are served.
+  client.send_line(map_request("retry", 4));
+  EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, DrainFinishesInFlightWorkAndExitsZero) {
+  ServeOptions options;
+  options.mapper_threads = 1;
+  options.drain_deadline_ms = 60'000;  // generous: drain must *finish* work
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  client.send_line(map_request("wrapup", 100));
+  // Make sure "wrapup" is admitted before the drain begins.
+  client.send_line(R"({"type":"ping","id":"sync"})");
+  EXPECT_EQ(client.recv_json().string_or("id", ""), "sync");
+  harness.server().request_drain();
+
+  // New work is refused while draining, explicitly.
+  client.send_line(map_request("late", 4));
+  bool saw_wrapup_ok = false;
+  bool saw_late_draining = false;
+  for (int i = 0; i < 2; ++i) {
+    const JsonValue reply = client.recv_json();
+    if (reply.string_or("id", "") == "wrapup") {
+      saw_wrapup_ok = reply.bool_or("ok", false);
+    } else if (reply.string_or("id", "") == "late") {
+      saw_late_draining = reply.string_or("code", "") == "draining";
+    }
+  }
+  EXPECT_TRUE(saw_wrapup_ok);
+  EXPECT_TRUE(saw_late_draining);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, DrainDeadlineCancelsStragglersAndStillExitsZero) {
+  ServeOptions options;
+  options.mapper_threads = 1;
+  options.drain_deadline_ms = 20;  // tight: the big job cannot finish
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  client.send_line(map_request("straggler", 100000));
+  // Make sure the job is actually admitted before the drain begins.
+  client.send_line(R"({"type":"ping","id":"sync"})");
+  EXPECT_EQ(client.recv_json().string_or("id", ""), "sync");
+
+  harness.server().request_drain();
+  const JsonValue reply = client.recv_json();
+  EXPECT_EQ(reply.string_or("id", ""), "straggler");
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.string_or("code", ""), "cancelled");
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, PerRequestFabricSelectsAndCachesServerSide) {
+  ServeHarness harness;
+  RawClient client(harness.port());
+
+  // "paper" resolves to the built-in fabric; an unknown path is a per-
+  // request failure, not a connection or daemon failure.
+  JsonWriter json;
+  json.begin_object();
+  json.field("type", "map");
+  json.field("id", "onpaper");
+  json.field("qasm", kTinyQasm);
+  json.field("fabric", "paper");
+  json.field("placer", "mc");
+  json.field("m", 4);
+  json.field("seed", 1);
+  json.end_object();
+  client.send_line(json.str());
+  EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+
+  JsonWriter bad;
+  bad.begin_object();
+  bad.field("type", "map");
+  bad.field("id", "nofile");
+  bad.field("qasm", kTinyQasm);
+  bad.field("fabric", "/nonexistent/fabric.txt");
+  bad.end_object();
+  client.send_line(bad.str());
+  EXPECT_EQ(client.recv_json().string_or("code", ""), "map_failed");
+
+  client.send_line(map_request("still-up", 4));
+  EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+}  // namespace
+}  // namespace qspr
