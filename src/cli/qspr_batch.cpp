@@ -53,6 +53,14 @@ int usage(const char* argv0) {
       << "                     batches of --report (speculative net\n"
       << "                     parallelism; default 1, results identical at\n"
       << "                     any value)\n"
+      << "  --landmarks <n>    ALT landmarks for the negotiated PathFinder\n"
+      << "                     batches of --report (default 8; 0 = grid\n"
+      << "                     bound only; tables build once per distinct\n"
+      << "                     fabric and are shared across records)\n"
+      << "  --heuristic-weight <w>\n"
+      << "                     bounded-suboptimal negotiated search: paths\n"
+      << "                     may cost up to w x optimal (default 1.0 =\n"
+      << "                     exact search)\n"
       << "  --mapper <m>       qspr (default) | quale | qpos | baseline\n"
       << "  --placer <p>       mvfb (default) | mc | center\n"
       << "  --m <n>            MVFB seeds / MC trials per program (default "
@@ -159,6 +167,16 @@ int main(int argc, char** argv) {
         const int route_jobs = static_cast<int>(parse_integer(next()));
         if (route_jobs < 1) throw Error("--route-jobs must be at least 1");
         map_options.route_jobs = route_jobs;
+      } else if (arg == "--landmarks") {
+        const int landmarks = static_cast<int>(parse_integer(next()));
+        if (landmarks < 0) throw Error("--landmarks must be >= 0");
+        map_options.route_landmarks = landmarks;
+      } else if (arg == "--heuristic-weight") {
+        const double weight = parse_real(next());
+        if (weight < 1.0) {
+          throw Error("--heuristic-weight must be >= 1 (1.0 is exact)");
+        }
+        map_options.route_heuristic_weight = weight;
       } else if (arg == "--mapper") {
         const std::string name = next();
         const auto kind = mapper_kind_from_name(name);

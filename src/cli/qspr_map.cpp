@@ -38,6 +38,13 @@ int usage(const char* argv0) {
       << "                     batches of --report (speculative net\n"
       << "                     parallelism; default 1, results identical at\n"
       << "                     any value)\n"
+      << "  --landmarks <n>    ALT landmarks for the negotiated PathFinder\n"
+      << "                     batches of --report (default 8; 0 = grid\n"
+      << "                     bound only; results identical at any value)\n"
+      << "  --heuristic-weight <w>\n"
+      << "                     bounded-suboptimal negotiated search: paths\n"
+      << "                     may cost up to w x optimal (default 1.0 =\n"
+      << "                     exact search)\n"
       << "  --fabric <file>    fabric drawing to map onto (default: 45x85 "
          "QUALE fabric)\n"
       << "  --trace            dump the control trace\n"
@@ -107,6 +114,16 @@ int main(int argc, char** argv) {
         const int route_jobs = static_cast<int>(parse_integer(next()));
         if (route_jobs < 1) throw Error("--route-jobs must be at least 1");
         options.route_jobs = route_jobs;
+      } else if (arg == "--landmarks") {
+        const int landmarks = static_cast<int>(parse_integer(next()));
+        if (landmarks < 0) throw Error("--landmarks must be >= 0");
+        options.route_landmarks = landmarks;
+      } else if (arg == "--heuristic-weight") {
+        const double weight = parse_real(next());
+        if (weight < 1.0) {
+          throw Error("--heuristic-weight must be >= 1 (1.0 is exact)");
+        }
+        options.route_heuristic_weight = weight;
       } else if (arg == "--fabric") {
         fabric = parse_fabric_file(next());
       } else if (arg == "--trace") {

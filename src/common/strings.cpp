@@ -84,4 +84,15 @@ long long parse_integer(std::string_view text) {
   return value;
 }
 
+double parse_real(std::string_view text) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw Error("malformed number: '" + std::string(text) + "'");
+  }
+  return value;
+}
+
 }  // namespace qspr

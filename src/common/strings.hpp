@@ -30,4 +30,8 @@ bool is_integer(std::string_view text);
 /// Parses a decimal integer; throws qspr::Error on malformed input.
 long long parse_integer(std::string_view text);
 
+/// Parses a decimal real number (e.g. "1.5"); throws qspr::Error on
+/// malformed input.
+double parse_real(std::string_view text);
+
 }  // namespace qspr

@@ -12,6 +12,26 @@ FabricArtifacts::FabricArtifacts(const Fabric& source)
   }
 }
 
+std::shared_ptr<const LandmarkTables> FabricArtifacts::landmark_tables(
+    double t_move, double turn_cost, int k) const {
+  if (k <= 0) return nullptr;
+  const std::lock_guard<std::mutex> lock(landmark_mutex_);
+  auto& entry = landmark_tables_[{t_move, turn_cost, k}];
+  if (entry) {
+    ++landmark_stats_.hits;
+    return entry;
+  }
+  ++landmark_stats_.builds;
+  entry = std::make_shared<const LandmarkTables>(
+      build_landmark_tables(graph, t_move, turn_cost, k));
+  return entry;
+}
+
+LandmarkCacheStats FabricArtifacts::landmark_stats() const {
+  const std::lock_guard<std::mutex> lock(landmark_mutex_);
+  return landmark_stats_;
+}
+
 std::uint64_t fabric_fingerprint(const Fabric& fabric) {
   std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a offset basis
   const auto mix = [&hash](std::uint64_t value) {
@@ -80,6 +100,19 @@ std::shared_ptr<const FabricArtifacts> FabricArtifactCache::get(
 FabricArtifactCache::Stats FabricArtifactCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+LandmarkCacheStats FabricArtifactCache::landmark_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  LandmarkCacheStats total;
+  for (const auto& [key, bucket] : entries_) {
+    for (const auto& entry : bucket) {
+      const LandmarkCacheStats stats = entry->landmark_stats();
+      total.builds += stats.builds;
+      total.hits += stats.hits;
+    }
+  }
+  return total;
 }
 
 std::size_t FabricArtifactCache::size() const {

@@ -49,25 +49,41 @@ std::vector<NetRequest> relocation_nets(const Trace& trace,
   return nets;
 }
 
-NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
+NegotiationDiagnostics diagnose_negotiation(const FabricArtifacts& artifacts,
                                             const TechnologyParams& tech,
                                             const Trace& trace,
                                             Executor& executor,
-                                            int route_jobs) {
+                                            const MapperOptions& mapper) {
   NegotiationDiagnostics diagnostics;
-  diagnostics.route_jobs = route_jobs;
+  diagnostics.route_jobs = mapper.route_jobs;
+  const RoutingGraph& routing_graph = artifacts.graph;
   const std::vector<NetRequest> nets =
       relocation_nets(trace, routing_graph.fabric());
   diagnostics.nets = static_cast<int>(nets.size());
   if (nets.empty()) {
     diagnostics.converged = true;
+    diagnostics.heuristic_weight = mapper.route_heuristic_weight;
     return diagnostics;
   }
   // Net-parallel negotiation on the engine's shared executor; bit-identical
   // to the serial loop at any route_jobs / worker count, so the diagnostic
   // never depends on how it was parallelised.
   PathFinderOptions options;
-  options.route_jobs = route_jobs;
+  options.route_jobs = mapper.route_jobs;
+  options.alt_landmarks = mapper.route_landmarks;
+  options.heuristic_weight = mapper.route_heuristic_weight;
+  // Landmark tables come from the per-fabric cache, so a batch of programs
+  // against one fabric pays the 2K-Dijkstra build exactly once. Tables must
+  // match the search's base costs (t_move and the turn-aware turn cost —
+  // the same expression route_nets_negotiated uses).
+  std::shared_ptr<const LandmarkTables> landmarks;
+  if (options.alt_landmarks > 0) {
+    const double turn_cost =
+        options.turn_aware ? static_cast<double>(tech.t_turn) : 0.1;
+    landmarks = artifacts.landmark_tables(static_cast<double>(tech.t_move),
+                                          turn_cost, options.alt_landmarks);
+    options.landmarks = landmarks.get();
+  }
   PathFinderScratch scratch;
   PathFinderScratchPool pool;
   const PathFinderResult negotiated = route_nets_negotiated(
@@ -82,6 +98,10 @@ NegotiationDiagnostics diagnose_negotiation(const RoutingGraph& routing_graph,
   diagnostics.total_delay = negotiated.total_delay;
   diagnostics.speculative_commits = negotiated.speculative_commits;
   diagnostics.speculative_reroutes = negotiated.speculative_reroutes;
+  diagnostics.landmarks_used = negotiated.landmarks_used;
+  diagnostics.heuristic_weight = negotiated.heuristic_weight;
+  diagnostics.alt_refreshes = negotiated.alt_refreshes;
+  diagnostics.nodes_settled = negotiated.nodes_settled;
   return diagnostics;
 }
 
@@ -158,6 +178,10 @@ MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
           "MapJob needs a program and a fabric");
   require(job.options.route_jobs >= 1,
           "MapJob needs at least one route worker (route_jobs >= 1)");
+  require(job.options.route_landmarks >= 0,
+          "MapJob route_landmarks must be >= 0 (0 disables ALT)");
+  require(job.options.route_heuristic_weight >= 1.0,
+          "MapJob route_heuristic_weight must be >= 1 (1.0 is exact)");
   // A job cancelled (or expired) before staging fails here, before any
   // artifact build or trial submission consumes shared capacity.
   job.cancel.check();
@@ -286,9 +310,9 @@ MapResult MappingEngine::finish(PendingMap pending) {
   // it includes time spent interleaved with other jobs' trials.
   result.cpu_ms = state.stopwatch.elapsed_ms();
   if (state.job.options.negotiation_report && result.trace.size() > 0) {
-    result.negotiation = diagnose_negotiation(
-        state.artifacts->graph, state.exec.tech, result.trace, executor_,
-        state.job.options.route_jobs);
+    result.negotiation =
+        diagnose_negotiation(*state.artifacts, state.exec.tech, result.trace,
+                             executor_, state.job.options);
   }
   return result;
 }

@@ -50,6 +50,17 @@ struct MapperOptions {
   /// negotiation diagnostic above all. Results are bit-identical at any
   /// value; must be >= 1 (1 = serial negotiation loop).
   int route_jobs = 1;
+  /// ALT landmark count for the negotiated PathFinder batches (the
+  /// negotiation diagnostic and the batch service). Tables are built once
+  /// per distinct fabric via FabricArtifacts::landmark_tables and shared
+  /// across jobs; 0 disables ALT (grid bound only). Results are identical
+  /// at any value — landmarks only prune the search.
+  int route_landmarks = 8;
+  /// Bounded-suboptimality knob forwarded to
+  /// PathFinderOptions::heuristic_weight: negotiated searches may return
+  /// paths up to this factor over the optimal negotiated cost. 1.0 (the
+  /// default) is the exact search, bit-identical to the pre-knob engine.
+  double route_heuristic_weight = 1.0;
 
   /// Batch-route the winning trace's relocations with the negotiated
   /// PathFinder and attach the convergence diagnostics to the result
@@ -90,6 +101,14 @@ struct NegotiationDiagnostics {
   int route_jobs = 1;
   long long speculative_commits = 0;
   long long speculative_reroutes = 0;
+  /// ALT/quality observability (MapperOptions::route_landmarks and
+  /// ::route_heuristic_weight): landmark count the searches ran with, the
+  /// suboptimality weight, mid-negotiation potential-table refreshes, and
+  /// the nodes the searches settled (the figure ALT exists to shrink).
+  int landmarks_used = 0;
+  double heuristic_weight = 1.0;
+  int alt_refreshes = 0;
+  long long nodes_settled = 0;
 };
 
 struct MapResult {

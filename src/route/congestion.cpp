@@ -93,7 +93,10 @@ CongestionLedger::OveruseSummary CongestionLedger::charge_history(
   OveruseSummary summary;
   summary.overused = static_cast<int>(overused_.size());
   for (const std::uint32_t index : overused_) {
-    if (!is_structural(index)) history_[index] += history_increment;
+    if (!is_structural(index)) {
+      history_[index] += history_increment;
+      max_history_ = std::max(max_history_, history_[index]);
+    }
     const int excess = occupancy_[index] - capacity(index);
     summary.max_overuse = std::max(summary.max_overuse, excess);
     summary.total_excess += excess;

@@ -71,6 +71,13 @@ class CongestionLedger {
   [[nodiscard]] double history(std::size_t index) const {
     return history_[index];
   }
+  /// Largest accumulated history over all resources. History only grows
+  /// within one negotiation, so (1 + history) per-resource prices baked into
+  /// a landmark table at any point stay admissible for the rest of the run;
+  /// this maximum is the cheap growth signal the ALT refresh trigger
+  /// (PathFinderOptions::alt_refresh_threshold) compares against. Maintained
+  /// in charge_history, O(delta set).
+  [[nodiscard]] double max_history() const { return max_history_; }
   [[nodiscard]] bool is_overused(std::size_t index) const {
     return overused_pos_[index] >= 0;
   }
@@ -179,6 +186,7 @@ class CongestionLedger {
 
   std::vector<int> occupancy_;
   std::vector<double> history_;
+  double max_history_ = 0.0;
   /// Position of each resource inside overused_, -1 when not over capacity.
   std::vector<std::int32_t> overused_pos_;
   std::vector<std::uint32_t> overused_;

@@ -1,0 +1,147 @@
+#include "route/landmarks.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace qspr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One Dijkstra over the through-trap supergraph under per-entered-node
+/// prices, filling `dist` with d(source -> v) (forward) or d(v -> source)
+/// (backward). The graph is symmetric with per-entered-node move weights, so
+/// the backward (reverse-graph) relaxation walks the same CSR rows and
+/// simply prices the node being *exited* in forward terms — the node every
+/// reversed edge enters.
+void dijkstra_supergraph(const RoutingGraph& graph, double turn_cost,
+                         const std::vector<double>& node_price,
+                         RouteNodeId source, bool backward,
+                         SearchArena<double>& arena,
+                         std::vector<double>& dist) {
+  const std::size_t n = graph.node_count();
+  arena.begin(n);
+  arena.relax(source, 0.0, RouteNodeId::invalid());
+  arena.heap_push(0.0, 0.0, source);
+  while (!arena.heap_empty()) {
+    const auto entry = arena.heap_pop();
+    if (entry.g != arena.dist(entry.node)) continue;  // stale heap entry
+    const double exit_price = backward ? node_price[entry.node.index()] : 0.0;
+    for (const RouteEdge& edge : graph.edges(entry.node)) {
+      const double weight =
+          edge.is_turn
+              ? turn_cost
+              : (backward ? exit_price : node_price[edge.to.index()]);
+      const double candidate = entry.g + weight;
+      if (candidate < arena.dist(edge.to)) {
+        arena.relax(edge.to, candidate, entry.node);
+        arena.heap_push(candidate, candidate, edge.to);
+      }
+    }
+  }
+  dist.assign(n, kInf);
+  for (std::size_t v = 0; v < n; ++v) {
+    dist[v] = arena.dist(RouteNodeId::from_index(v));
+  }
+}
+
+/// Floored base-metric prices: traps cost a flat t_move (trap entries carry
+/// no congestion penalty), channel/junction nodes cost floor * t_move
+/// (floor lower-bounds every negotiated penalty).
+std::vector<double> floored_prices(const RoutingGraph& graph, double t_move,
+                                   double floor) {
+  std::vector<double> prices(graph.node_count());
+  for (std::size_t v = 0; v < prices.size(); ++v) {
+    prices[v] =
+        graph.node(RouteNodeId::from_index(v)).is_trap ? t_move
+                                                       : floor * t_move;
+  }
+  return prices;
+}
+
+}  // namespace
+
+std::vector<RouteNodeId> select_landmarks(const RoutingGraph& graph,
+                                          double t_move, double turn_cost,
+                                          int k, SearchArena<double>& arena) {
+  std::vector<RouteNodeId> landmarks;
+  const std::size_t n = graph.node_count();
+  if (k <= 0 || n == 0) return landmarks;
+
+  // Distance from the growing landmark set; seeded by node 0 so the first
+  // pick is the node farthest from an arbitrary anchor (the classic
+  // farthest-point bootstrap). Ascending scan + strict > keeps ties on the
+  // smallest node index, making the selection platform-deterministic.
+  const std::vector<double> prices = floored_prices(graph, t_move, 1.0);
+  std::vector<double> from_set;
+  dijkstra_supergraph(graph, turn_cost, prices, RouteNodeId::from_index(0),
+                      /*backward=*/false, arena, from_set);
+  std::vector<double> from_landmark;
+  while (landmarks.size() < static_cast<std::size_t>(k)) {
+    std::size_t best = n;
+    double best_dist = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double d = from_set[v];
+      if (std::isfinite(d) && d > best_dist) {
+        best_dist = d;
+        best = v;
+      }
+    }
+    if (best == n) break;  // every remaining node is co-located or unreachable
+    const RouteNodeId landmark = RouteNodeId::from_index(best);
+    landmarks.push_back(landmark);
+    if (landmarks.size() == static_cast<std::size_t>(k)) break;
+    dijkstra_supergraph(graph, turn_cost, prices, landmark,
+                        /*backward=*/false, arena, from_landmark);
+    for (std::size_t v = 0; v < n; ++v) {
+      from_set[v] = std::min(from_set[v], from_landmark[v]);
+    }
+  }
+  return landmarks;
+}
+
+void build_landmark_tables_priced(const RoutingGraph& graph, double turn_cost,
+                                  const std::vector<double>& node_price,
+                                  const std::vector<RouteNodeId>& landmarks,
+                                  SearchArena<double>& arena,
+                                  LandmarkTables& out) {
+  out.turn_cost = turn_cost;
+  out.landmarks = landmarks;
+  const std::size_t n = graph.node_count();
+  const std::size_t k = landmarks.size();
+  out.forward.assign(n * k, kInf);
+  out.backward.assign(n * k, kInf);
+  std::vector<double> dist;
+  for (std::size_t i = 0; i < k; ++i) {
+    dijkstra_supergraph(graph, turn_cost, node_price, landmarks[i],
+                        /*backward=*/false, arena, dist);
+    for (std::size_t v = 0; v < n; ++v) out.forward[v * k + i] = dist[v];
+    dijkstra_supergraph(graph, turn_cost, node_price, landmarks[i],
+                        /*backward=*/true, arena, dist);
+    for (std::size_t v = 0; v < n; ++v) out.backward[v * k + i] = dist[v];
+  }
+}
+
+void build_landmark_tables(const RoutingGraph& graph, double t_move,
+                           double turn_cost, double floor,
+                           const std::vector<RouteNodeId>& landmarks,
+                           SearchArena<double>& arena, LandmarkTables& out) {
+  build_landmark_tables_priced(graph, turn_cost,
+                               floored_prices(graph, t_move, floor),
+                               landmarks, arena, out);
+  out.t_move = t_move;
+  out.floor = floor;
+}
+
+LandmarkTables build_landmark_tables(const RoutingGraph& graph, double t_move,
+                                     double turn_cost, int k) {
+  SearchArena<double> arena;
+  LandmarkTables tables;
+  build_landmark_tables(graph, t_move, turn_cost, 1.0,
+                        select_landmarks(graph, t_move, turn_cost, k, arena),
+                        arena, tables);
+  return tables;
+}
+
+}  // namespace qspr

@@ -1,0 +1,141 @@
+// ALT landmark lower bounds for the negotiated PathFinder searches
+// (Goldberg & Harrelson's A*-with-landmarks, applied to the fabric routing
+// graph).
+//
+// K landmark nodes are selected once per fabric by farthest-point iteration
+// over the base routing metric, and two distance tables are precomputed per
+// landmark L: forward[v]  = d(L -> v) and backward[v] = d(v -> L). The
+// triangle inequality then gives, for any query endpoints, per-node lower
+// bounds
+//
+//     d(v, t) >= d(L, t) - d(L, v)      (forward table)
+//     d(v, t) >= d(v, L) - d(t, L)      (backward table)
+//
+// maximised over landmarks and combined (max) with the turn-aware grid
+// bound. Unlike the grid bound, the landmark metric counts *every* turn a
+// route must take, so it keeps pruning where Manhattan distance goes flat —
+// t_turn is 10x t_move, and saturated searches spend their time exploring
+// equally-long detours the grid bound cannot distinguish.
+//
+// Soundness under negotiation. Tables are computed over the *floored base
+// metric*: a turn edge costs turn_cost, entering a trap costs t_move, and
+// entering any channel/junction node costs floor * t_move, where `floor` is
+// an admissible lower bound on the negotiated entering penalty
+// (CongestionLedger::penalty_floor; the base tables use floor = 1). Every
+// negotiated search weight dominates these weights edge-for-edge whenever
+// the live penalty floor is >= the table floor, so the table distances lower
+// -bound the negotiated distances and each single-landmark bound is both
+// admissible and *consistent* for the search — and a max of consistent
+// bounds is consistent (tests/alt_heuristic_test.cpp checks this
+// edge-exhaustively for both frontiers).
+//
+// One deliberate slack: the landmark metric keeps traps as through-nodes
+// (queries prune edges into non-endpoint traps, the tables do not). The
+// table metric therefore runs on a *supergraph* of every query's search
+// graph, which can only lower the distances — admissibility holds for every
+// endpoint pair without per-query table work, at the price of a weaker
+// bound near trap shortcuts.
+//
+// Tables are built once per distinct fabric and cached in
+// FabricArtifactCache next to the CSR graph. Under negotiation the global
+// penalty floor rarely moves (congestion is localised), so the refresh
+// trigger keys on the *history* component instead: entering_penalty =
+// present * (1 + history) with present >= 1, and history only grows within
+// a run, so per-node prices t_move * (1 + history(v)) baked into a rebuilt
+// table stay an edge-for-edge lower bound for the rest of the negotiation.
+// The loop rebuilds (same landmark set, so deterministically) whenever
+// 1 + max_history outgrows the strength of the current tables by
+// PathFinderOptions::alt_refresh_threshold — this is what makes the bound
+// congestion-aware exactly in the saturated regime where the grid bound
+// goes flat.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "route/routing_graph.hpp"
+#include "route/search_arena.hpp"
+
+namespace qspr {
+
+/// Precomputed landmark distance tables over one routing graph. Node-major
+/// layout: the K distances of node v occupy forward/backward[v*K .. v*K+K),
+/// so one bound evaluation reads two contiguous K-vectors per endpoint.
+struct LandmarkTables {
+  double t_move = 0.0;
+  double turn_cost = 0.0;
+  /// Penalty floor the tables were built at (>= 1; base tables use 1.0).
+  /// Valid for a search iff the live penalty floor is >= this value.
+  double floor = 1.0;
+  std::vector<RouteNodeId> landmarks;
+  std::vector<double> forward;   // forward[v*k+L]  = d(landmark L -> v)
+  std::vector<double> backward;  // backward[v*k+L] = d(v -> landmark L)
+
+  [[nodiscard]] int k() const { return static_cast<int>(landmarks.size()); }
+  [[nodiscard]] bool empty() const { return landmarks.empty(); }
+
+  /// Start of node v's K-vector in `forward`.
+  [[nodiscard]] const double* forward_row(std::size_t v) const {
+    return forward.data() + v * landmarks.size();
+  }
+  [[nodiscard]] const double* backward_row(std::size_t v) const {
+    return backward.data() + v * landmarks.size();
+  }
+};
+
+/// Deterministic farthest-point landmark selection over the base (floor 1)
+/// metric: the first landmark is the node farthest from node 0, each next
+/// landmark maximises the distance to the already-selected set, ties broken
+/// by smallest node index. Returns min(k, node_count) landmarks.
+std::vector<RouteNodeId> select_landmarks(const RoutingGraph& graph,
+                                          double t_move, double turn_cost,
+                                          int k, SearchArena<double>& arena);
+
+/// Builds the forward/backward distance tables of `landmarks` under an
+/// arbitrary per-entered-node price vector (2K Dijkstras over the
+/// through-trap supergraph, reusing `arena`). The tables lower-bound every
+/// search whose non-turn edge weights dominate `node_price` entry-for-entry
+/// — the negotiation loop uses this with the monotone history prices
+/// t_move * (1 + history(v)), which stay dominated for the rest of the run.
+/// Deterministic for a fixed landmark set and price vector.
+void build_landmark_tables_priced(const RoutingGraph& graph, double turn_cost,
+                                  const std::vector<double>& node_price,
+                                  const std::vector<RouteNodeId>& landmarks,
+                                  SearchArena<double>& arena,
+                                  LandmarkTables& out);
+
+/// Builds the forward/backward distance tables of `landmarks` at penalty
+/// floor `floor` (uniform prices: t_move for traps, floor * t_move
+/// elsewhere). Deterministic for a fixed landmark set.
+void build_landmark_tables(const RoutingGraph& graph, double t_move,
+                           double turn_cost, double floor,
+                           const std::vector<RouteNodeId>& landmarks,
+                           SearchArena<double>& arena, LandmarkTables& out);
+
+/// Selection + table build in one step (the once-per-fabric entry point).
+LandmarkTables build_landmark_tables(const RoutingGraph& graph, double t_move,
+                                     double turn_cost, int k);
+
+/// Triangle-inequality lower bound on d(from -> to) from the two node-major
+/// K-vectors of each endpoint: max over landmarks of
+/// max(d(L,to) - d(L,from), d(from,L) - d(to,L), 0).
+///
+/// Unreachable pairs are handled by IEEE arithmetic: a +inf in the *to*
+/// row propagates (the pair really is disconnected — reachability is
+/// symmetric here, finite weights both ways), a +inf in the *from* row
+/// yields -inf and is clamped by the max with 0, and inf - inf produces a
+/// NaN that std::max(h, x) discards (comparison is false, h wins).
+[[nodiscard]] inline double alt_lower_bound(const double* from_forward,
+                                            const double* from_backward,
+                                            const double* to_forward,
+                                            const double* to_backward,
+                                            int k) {
+  double h = 0.0;
+  for (int i = 0; i < k; ++i) {
+    h = std::max(h, to_forward[i] - from_forward[i]);
+    h = std::max(h, from_backward[i] - to_backward[i]);
+  }
+  return h;
+}
+
+}  // namespace qspr

@@ -105,7 +105,8 @@ namespace {
 /// A* engine is tested and benchmarked against.
 std::optional<std::vector<RouteNodeId>> route_one_reference(
     const RoutingGraph& graph, const TechnologyParams& params,
-    const CongestionLedger& ledger, bool turn_aware, TrapId from, TrapId to) {
+    const CongestionLedger& ledger, bool turn_aware, TrapId from, TrapId to,
+    long long& nodes_settled) {
   const RouteNodeId source = graph.trap_node(from);
   const RouteNodeId target = graph.trap_node(to);
   if (source == target) return std::vector<RouteNodeId>{source};
@@ -122,6 +123,7 @@ std::optional<std::vector<RouteNodeId>> route_one_reference(
     const QueueEntry entry = frontier.top();
     frontier.pop();
     if (entry.cost > dist[entry.node.index()]) continue;
+    ++nodes_settled;
     if (entry.node == target) break;
 
     for (const RouteEdge& edge : graph.edges(entry.node)) {
@@ -151,11 +153,20 @@ std::optional<std::vector<RouteNodeId>> route_one_reference(
 }
 
 /// Physics of one optimized search: base move/turn selection costs plus the
-/// admissible congestion floor of the current iteration.
+/// admissible congestion floor of the current iteration, the (already
+/// validity-checked) ALT tables, and the bounded-suboptimality weight.
 struct SearchCosts {
   double t_move = 0.0;
   double turn_cost = 0.0;
   double floor = 1.0;
+  /// ALT tables whose build floor is <= `floor` (admissible for this
+  /// search), or null for the grid bound alone. Selected per query by the
+  /// negotiation loop, never inside the search.
+  const LandmarkTables* alt = nullptr;
+  /// Heuristic inflation w >= 1: the frontier is ordered by g + w*h, so the
+  /// returned path costs <= w * optimal. Exactly 1.0 leaves every f-value
+  /// bit-identical to the unweighted search.
+  double weight = 1.0;
 };
 
 /// One negotiated-cost A* over the arena — the optimized unidirectional
@@ -167,7 +178,8 @@ struct SearchCosts {
 bool route_one_astar(const RoutingGraph& graph,
                      const NodeWeightCache& weights, const SearchCosts& costs,
                      TrapId from, TrapId to, SearchArena<double>& arena,
-                     std::vector<RouteNodeId>& path) {
+                     std::vector<RouteNodeId>& path,
+                     long long& nodes_settled) {
   path.clear();
   const RouteNodeId source = graph.trap_node(from);
   const RouteNodeId target = graph.trap_node(to);
@@ -177,15 +189,28 @@ bool route_one_astar(const RoutingGraph& graph,
   }
 
   const Position target_cell = graph.node(target).cell;
-  const auto bound = [&](const RouteNode& node) {
-    return congestion_scaled_bound(node, target_cell, costs.t_move,
-                                   costs.turn_cost, costs.floor,
-                                   /*moves_end_in_trap=*/true);
+  // ALT endpoint slices, hoisted: each bound evaluation reads the node's
+  // two contiguous K-vectors against these fixed target vectors.
+  const int alt_k = costs.alt ? costs.alt->k() : 0;
+  const double* target_fwd =
+      alt_k ? costs.alt->forward_row(target.index()) : nullptr;
+  const double* target_bwd =
+      alt_k ? costs.alt->backward_row(target.index()) : nullptr;
+  const auto bound = [&](RouteNodeId id, const RouteNode& node) {
+    double h = congestion_scaled_bound(node, target_cell, costs.t_move,
+                                       costs.turn_cost, costs.floor,
+                                       /*moves_end_in_trap=*/true);
+    if (alt_k) {
+      h = std::max(h, alt_lower_bound(costs.alt->forward_row(id.index()),
+                                      costs.alt->backward_row(id.index()),
+                                      target_fwd, target_bwd, alt_k));
+    }
+    return h * costs.weight;
   };
 
   arena.begin(graph.node_count());
   arena.relax(source, 0.0, RouteNodeId::invalid());
-  arena.heap_push(bound(graph.node(source)), 0.0, source);
+  arena.heap_push(bound(source, graph.node(source)), 0.0, source);
 
   bool reached = false;
   while (!arena.heap_empty()) {
@@ -194,6 +219,7 @@ bool route_one_astar(const RoutingGraph& graph,
     // per node carries g == dist: the comparison alone rejects stale
     // entries, no settled bitmap traffic needed on the hot path.
     if (entry.g != arena.dist(entry.node)) continue;
+    ++nodes_settled;
     if (entry.node == target) {
       reached = true;
       break;
@@ -212,8 +238,8 @@ bool route_one_astar(const RoutingGraph& graph,
       const double candidate = entry.g + weight;
       if (candidate < arena.dist(edge.to)) {
         arena.relax(edge.to, candidate, entry.node);
-        arena.heap_push(candidate + bound(graph.node(edge.to)), candidate,
-                        edge.to);
+        arena.heap_push(candidate + bound(edge.to, graph.node(edge.to)),
+                        candidate, edge.to);
       }
     }
   }
@@ -239,7 +265,8 @@ bool route_one_bidirectional(const RoutingGraph& graph,
                              const NodeWeightCache& weights,
                              const SearchCosts& costs, TrapId from, TrapId to,
                              SearchArena<double>& arena,
-                             std::vector<RouteNodeId>& path) {
+                             std::vector<RouteNodeId>& path,
+                             long long& nodes_settled) {
   path.clear();
   const RouteNodeId source = graph.trap_node(from);
   const RouteNodeId target = graph.trap_node(to);
@@ -255,6 +282,21 @@ bool route_one_bidirectional(const RoutingGraph& graph,
   const double floor = costs.floor;
   // Forward bound: remaining path ends inside the target trap. Backward
   // bound: a source->v path ends inside a trap only when v itself is one.
+  // The balanced potential stays *unweighted* even under heuristic_weight:
+  // inflating it would make reduced edge costs negative and break the
+  // settled-frontier invariant; the suboptimality knob instead scales the
+  // termination test below.
+  //
+  // The balanced potential deliberately ignores costs.alt. A stronger
+  // one-sided bound does not make balanced bidirectional search cheaper:
+  // mixing the near-exact landmark bound into either (or both) sides was
+  // measured to *grow* the settled set on long hauls — a corner-to-corner
+  // paper-fabric net settles 268 nodes with the grid potential but 601
+  // (ALT both sides), 1206 (forward only), and 518 (backward only),
+  // because the sharper potential collapses f-values along every
+  // near-optimal corridor and delays the heap-top termination test, while
+  // the same tables cut the unidirectional search 3.4x. ALT therefore
+  // focuses the unidirectional engine only.
   const auto potential = [&](const RouteNode& node) {
     const double h_forward = congestion_scaled_bound(
         node, target_cell, t_move, turn_cost, floor,
@@ -307,10 +349,17 @@ bool route_one_bidirectional(const RoutingGraph& graph,
   prune_forward();
   prune_backward();
   while (!arena.heap_empty() && !arena.heap_empty_b()) {
-    if (arena.heap_top().f + arena.heap_top_b().f >= best) break;
+    // Exact termination at weight 1 (w * x == x in IEEE for w == 1.0);
+    // under w > 1 the loop stops once best <= w * (sum of heap tops), and
+    // the tops lower-bound every path not yet discovered, so the meeting
+    // path costs at most w * optimal.
+    if (costs.weight * (arena.heap_top().f + arena.heap_top_b().f) >= best) {
+      break;
+    }
     if (arena.heap_top().f <= arena.heap_top_b().f) {
       const auto entry = arena.heap_pop();
       arena.settle(entry.node);
+      ++nodes_settled;
       for (const RouteEdge& edge : graph.edges(entry.node)) {
         if (!edge.is_turn && edge.to != target &&
             weights.node_resource[edge.to.index()] < 0) {
@@ -334,6 +383,7 @@ bool route_one_bidirectional(const RoutingGraph& graph,
     } else {
       const auto entry = arena.heap_pop_b();
       arena.settle_b(entry.node);
+      ++nodes_settled;
       // Every move edge into the settled node costs the same (weights price
       // the node being entered), so one cache read covers all of them.
       const double enter_weight = weights.node_weight[entry.node.index()];
@@ -462,6 +512,10 @@ struct SpeculativeNet {
   bool routed = false;
   RoutedPath path;
   std::vector<std::uint32_t> resources;
+  /// Nodes the speculative search settled; added to the result only when
+  /// the path commits (the committed search *is* the serial search, so the
+  /// aggregate stays bit-identical at any route_jobs).
+  long long settled = 0;
 };
 
 PathFinderResult route_nets_negotiated_impl(
@@ -478,6 +532,11 @@ PathFinderResult route_nets_negotiated_impl(
   require(options.route_jobs >= 1, "route_jobs must be at least 1");
   require(options.route_wave_size >= 0,
           "route_wave_size must be non-negative");
+  require(options.alt_landmarks >= 0, "alt_landmarks must be non-negative");
+  require(options.alt_refresh_threshold > 1.0,
+          "alt_refresh_threshold must be > 1");
+  require(options.heuristic_weight >= 1.0,
+          "heuristic_weight must be >= 1 (1.0 is the exact search)");
 
   const Fabric& fabric = graph.fabric();
   CongestionLedger ledger(fabric.segment_count(), fabric.junction_count(),
@@ -509,9 +568,52 @@ PathFinderResult route_nets_negotiated_impl(
 
   const SearchCosts base_costs{
       static_cast<double>(params.t_move),
-      options.turn_aware ? static_cast<double>(params.t_turn) : 0.1, 1.0};
+      options.turn_aware ? static_cast<double>(params.t_turn) : 0.1, 1.0,
+      nullptr, options.heuristic_weight};
   NodeWeightCache& weights = scratch.weights;
   if (optimized) weights.build(graph, ledger);
+  result.heuristic_weight = options.heuristic_weight;
+
+  // --- ALT landmark bounds (optimized engine only) ------------------------
+  // Base (floor 1) tables come from the caller (the per-fabric cache) or
+  // are built here; a history-priced rebuild over the *same* landmark set
+  // may be triggered per iteration once the accumulated congestion history
+  // outgrows the refresh threshold. History only grows within a run, so a
+  // rebuilt table stays valid for the rest of the negotiation — no
+  // per-query fallback needed.
+  const bool use_alt = optimized && options.alt_landmarks > 0;
+  const LandmarkTables* alt_base = nullptr;
+  scratch.alt_refreshed.landmarks.clear();
+  bool alt_refreshed_active = false;
+  double alt_table_strength = 1.0;
+  if (use_alt) {
+    if (options.landmarks != nullptr && !options.landmarks->empty()) {
+      alt_base = options.landmarks;
+      require(alt_base->forward.size() ==
+                  graph.node_count() * alt_base->landmarks.size(),
+              "prebuilt landmark tables do not match this graph");
+      require(alt_base->t_move == base_costs.t_move &&
+                  alt_base->turn_cost == base_costs.turn_cost,
+              "prebuilt landmark tables were built for different costs");
+      require(alt_base->floor == 1.0,
+              "prebuilt landmark tables must be base (floor 1) tables");
+    } else {
+      build_landmark_tables(graph, base_costs.t_move, base_costs.turn_cost,
+                            1.0,
+                            select_landmarks(graph, base_costs.t_move,
+                                             base_costs.turn_cost,
+                                             options.alt_landmarks, arena),
+                            arena, scratch.alt_base);
+      alt_base = &scratch.alt_base;
+    }
+    result.landmarks_used = alt_base->k();
+  }
+  // Freshest valid tables. Reads only state mutated at the serial iteration
+  // start, so the wave workers may call it concurrently.
+  const auto select_alt = [&]() -> const LandmarkTables* {
+    if (!use_alt) return nullptr;
+    return alt_refreshed_active ? &scratch.alt_refreshed : alt_base;
+  };
 
   // --- speculative wave state (route_jobs >= 2 on an executor) ------------
   // Speculation is an optimized-engine mechanism: the reference engine
@@ -557,6 +659,36 @@ PathFinderResult route_nets_negotiated_impl(
       // iteration, then keep it in sync per ripped/re-inserted resource.
       weights.refresh_all(ledger, base_costs.t_move);
     }
+    if (use_alt && options.adaptive_bound) {
+      // ALT refresh trigger, evaluated only here — at the serial start of
+      // the iteration, where no wave is in flight (the tables are immutable
+      // while workers search). The trigger keys on the *history* penalty
+      // component: entering_penalty = present * (1 + history) with
+      // present >= 1, and history only grows within a run, so per-node
+      // prices t_move * (1 + history(v)) baked into the rebuilt tables stay
+      // an edge-for-edge lower bound on every later search weight. This is
+      // the congestion-aware bound for the saturated regime — there the
+      // localised penalties never move the global floor, but the charged
+      // history mass keeps climbing.
+      const double strength = 1.0 + ledger.max_history();
+      if (strength >= alt_table_strength * options.alt_refresh_threshold) {
+        scratch.alt_price.resize(graph.node_count());
+        for (std::size_t v = 0; v < scratch.alt_price.size(); ++v) {
+          const std::int32_t res = weights.node_resource[v];
+          scratch.alt_price[v] =
+              res < 0 ? base_costs.t_move
+                      : base_costs.t_move *
+                            (1.0 + ledger.history(
+                                       static_cast<std::size_t>(res)));
+        }
+        build_landmark_tables_priced(graph, base_costs.turn_cost,
+                                     scratch.alt_price, alt_base->landmarks,
+                                     arena, scratch.alt_refreshed);
+        alt_refreshed_active = true;
+        alt_table_strength = strength;
+        ++result.alt_refreshes;
+      }
+    }
     // Incremental rip-up: each dirty net is removed from the occupancy,
     // re-routed against the *other* nets' present congestion plus the
     // history costs, and re-inserted. With partial_ripup off every net is
@@ -575,6 +707,7 @@ PathFinderResult route_nets_negotiated_impl(
       if (optimized) {
         SearchCosts costs = base_costs;
         if (options.adaptive_bound) costs.floor = ledger.penalty_floor();
+        costs.alt = select_alt();
         const bool long_query =
             options.bidirectional &&
             manhattan_cells(graph, nets[i].from, nets[i].to) >=
@@ -582,13 +715,15 @@ PathFinderResult route_nets_negotiated_impl(
         routed = long_query
                      ? route_one_bidirectional(graph, weights, costs,
                                                nets[i].from, nets[i].to,
-                                               arena, node_buffer)
+                                               arena, node_buffer,
+                                               result.nodes_settled)
                      : route_one_astar(graph, weights, costs, nets[i].from,
-                                       nets[i].to, arena, node_buffer);
+                                       nets[i].to, arena, node_buffer,
+                                       result.nodes_settled);
       } else {
         auto nodes = route_one_reference(graph, params, ledger,
                                          options.turn_aware, nets[i].from,
-                                         nets[i].to);
+                                         nets[i].to, result.nodes_settled);
         routed = nodes.has_value();
         if (routed) node_buffer = std::move(*nodes);
       }
@@ -658,6 +793,7 @@ PathFinderResult route_nets_negotiated_impl(
               SpeculativeNet& out = speculated[k];
               out.routed = false;
               out.resources.clear();
+              out.settled = 0;
               SearchCosts costs = base_costs;
               // The worker's own rip-up, priced against the snapshot: the
               // serial loop releases net i's old resources before its
@@ -673,6 +809,10 @@ PathFinderResult route_nets_negotiated_impl(
                 }
               }
               if (options.adaptive_bound) costs.floor = floor;
+              // Same selection rule the serial loop applies post-rip: on a
+              // clean commit the worker's floor equals the serial loop's,
+              // so the same tables are chosen and the search is identical.
+              costs.alt = select_alt();
               const bool long_query =
                   options.bidirectional &&
                   manhattan_cells(graph, nets[i].from, nets[i].to) >=
@@ -681,10 +821,11 @@ PathFinderResult route_nets_negotiated_impl(
                   long_query
                       ? route_one_bidirectional(graph, ws.weights, costs,
                                                 nets[i].from, nets[i].to,
-                                                ws.arena, ws.node_buffer)
+                                                ws.arena, ws.node_buffer,
+                                                out.settled)
                       : route_one_astar(graph, ws.weights, costs,
                                         nets[i].from, nets[i].to, ws.arena,
-                                        ws.node_buffer);
+                                        ws.node_buffer, out.settled);
               if (routed) {
                 out.path = lower_path(graph, ws.node_buffer, params);
                 collect_resources(out.path, *snapshot, ws.membership,
@@ -722,6 +863,7 @@ PathFinderResult route_nets_negotiated_impl(
             }
             result.paths[i] = std::move(spec.path);
             net_resources[i] = std::move(spec.resources);
+            result.nodes_settled += spec.settled;
             ++result.speculative_commits;
           } else {
             route_net_live(i);

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "route/landmarks.hpp"
 #include "route/path.hpp"
 #include "route/routing_graph.hpp"
 #include "route/search_arena.hpp"
@@ -120,6 +121,41 @@ struct PathFinderOptions {
   /// the bidirectional search; short queries stay unidirectional.
   int bidirectional_min_cells = 24;
 
+  // --- ALT landmark lower bounds + bounded-suboptimal knob (AStarArena
+  // --- only; see route/landmarks.hpp for the admissibility argument) ---
+
+  /// Landmarks for the ALT triangle-inequality bound, max-combined with the
+  /// grid bound. 0 disables ALT entirely. When `landmarks` is null the
+  /// tables are built at negotiation start (K+2K Dijkstras); callers on the
+  /// hot path should pass the fabric's cached tables instead.
+  int alt_landmarks = 0;
+  /// Prebuilt base (floor 1) landmark tables for this graph, borrowed for
+  /// the duration of the call — FabricArtifactCache::landmark_tables() is
+  /// the intended source. Ignored unless alt_landmarks > 0; must match the
+  /// graph and the search's t_move/turn costs.
+  const LandmarkTables* landmarks = nullptr;
+  /// Refresh trigger for the congestion-aware ALT tables: when an iteration
+  /// starts with (1 + max accumulated history) >= (strength of the current
+  /// tables) * threshold, the tables are rebuilt over the per-node history
+  /// prices t_move * (1 + history(v)) (same landmark set — rebuilds are
+  /// deterministic). History only grows within a run, so rebuilt tables
+  /// stay admissible for the rest of the negotiation regardless of trigger
+  /// timing; larger thresholds mean fewer (2K-Dijkstra) rebuilds. Requires
+  /// adaptive_bound; must be > 1. The default is deliberately conservative:
+  /// on the saturated bench loads the *present* penalty (factor up to
+  /// present_factor_max) dominates the baked-in history prices, so eager
+  /// rebuilds cut settled nodes by only a few percent while their Dijkstra
+  /// cost roughly doubles the negotiation wall time — 4.0 keeps refreshes
+  /// to runs whose history has genuinely ramped (max history >= 3).
+  double alt_refresh_threshold = 4.0;
+  /// Bounded-suboptimal search: A* orders the frontier by g + w*h instead
+  /// of g + h (and the bidirectional termination scales accordingly), so
+  /// each inner search returns a path of cost <= w * optimal. 1.0 is exact
+  /// and bit-identical to the unweighted search (IEEE: h * 1.0 == h); > 1
+  /// trades bounded path-quality slack for fewer expansions on saturated
+  /// loads. Applies to AStarArena; ReferenceDijkstra has no heuristic.
+  double heuristic_weight = 1.0;
+
   // --- speculative intra-iteration parallelism (executor overload only) ---
 
   /// Worker budget for routing one iteration's dirty nets concurrently.
@@ -150,6 +186,17 @@ struct PathFinderResult {
   /// one search the serial loop would have run (extra speculative work is
   /// reported separately below).
   long long searches_performed = 0;
+  /// Nodes settled (accepted heap pops) across all counted searches — the
+  /// heuristic-quality metric the ALT ablation records. Counted in the same
+  /// serial-equivalent terms as searches_performed, so it is bit-identical
+  /// at any route_jobs.
+  long long nodes_settled = 0;
+  /// Landmarks the ALT bound actually used (0 when ALT was off).
+  int landmarks_used = 0;
+  /// Floored rebuilds of the ALT tables triggered by the refresh threshold.
+  int alt_refreshes = 0;
+  /// Echo of options.heuristic_weight (1.0 = exact search).
+  double heuristic_weight = 1.0;
 
   // --- wave-speculation observability (not part of the bit-identity
   // --- contract: 0 under the serial loop, deterministic for a fixed
@@ -207,6 +254,16 @@ struct PathFinderScratch {
   std::vector<int> trap_demand;
   /// Ledger-synchronised per-node move weights of the optimized engine.
   NodeWeightCache weights;
+  /// Base (floor 1) ALT tables built here when options.alt_landmarks > 0
+  /// but no prebuilt tables were passed; rebuilt per negotiation (the
+  /// scratch may serve different graphs across calls).
+  LandmarkTables alt_base;
+  /// History-priced ALT rebuild of the current negotiation (refresh
+  /// trigger); reset at negotiation start, shared read-only by the wave
+  /// workers.
+  LandmarkTables alt_refreshed;
+  /// Per-node price buffer of the history-priced rebuilds.
+  std::vector<double> alt_price;
 };
 
 /// Per-worker scratch of the speculative wave workers. Like a single

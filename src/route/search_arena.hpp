@@ -8,9 +8,11 @@
 // its stamp matches the current generation, so `begin()` costs nothing per
 // node and the arrays stay hot in cache across queries.
 //
-// The arena is shared by the incremental Router (integer Duration costs)
-// and the PathFinder negotiated search (double congestion costs), hence the
-// cost-type template. Not thread-safe; one arena per searching thread.
+// The arena is shared by the incremental Router (integer Duration costs),
+// the PathFinder negotiated search (double congestion costs), and the ALT
+// landmark-table builders (route/landmarks.hpp), whose 2K+K Dijkstras per
+// fabric reuse one double arena across every source — hence the cost-type
+// template. Not thread-safe; one arena per searching thread.
 #pragma once
 
 #include <algorithm>

@@ -163,6 +163,10 @@ std::string batch_record_json(const BatchJobRecord& record) {
       json.field("route_jobs", n.route_jobs);
       json.field("speculative_commits", n.speculative_commits);
       json.field("speculative_reroutes", n.speculative_reroutes);
+      json.field("landmarks_used", n.landmarks_used);
+      json.field("heuristic_weight", n.heuristic_weight);
+      json.field("alt_refreshes", n.alt_refreshes);
+      json.field("nodes_settled", n.nodes_settled);
       json.end_object();
     }
   }

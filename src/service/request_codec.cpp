@@ -136,6 +136,16 @@ ServeRequest parse_serve_request(std::string_view frame,
     request.options.rng_seed = static_cast<std::uint64_t>(
         number_field(root, "seed", 0.0, 0.0, 1e18));
   }
+  // Search-quality knobs of the negotiation diagnostic (absent = the
+  // service defaults): ALT landmark count and the bounded-suboptimality
+  // weight (1.0 keeps the exact search).
+  if (root.find("landmarks") != nullptr) {
+    request.options.route_landmarks = static_cast<int>(
+        number_field(root, "landmarks", 0.0, 0.0, 1024.0));
+  }
+  request.options.route_heuristic_weight =
+      number_field(root, "heuristic_weight",
+                   request.options.route_heuristic_weight, 1.0, 16.0);
   return request;
 }
 

@@ -507,6 +507,11 @@ std::string MappingServer::stats_json(const std::string& id) {
              lookups > 0 ? static_cast<double>(cache.hits) /
                                static_cast<double>(lookups)
                          : 0.0);
+  // ALT landmark tables built/reused across the cached fabrics (reporting
+  // requests trigger the build; builds stay at one per distinct fabric).
+  const LandmarkCacheStats landmarks = engine_.artifacts().landmark_stats();
+  json.field("landmark_builds", landmarks.builds);
+  json.field("landmark_hits", landmarks.hits);
   json.field("p50_trial_cpu_ms", snap.p50_trial_cpu_ms);
   json.field("p99_trial_cpu_ms", snap.p99_trial_cpu_ms);
   json.field("latency_samples", snap.latency_samples);

@@ -87,6 +87,10 @@ void expect_identical(const MapResult& reference, const MapResult& other,
     EXPECT_EQ(a.total_excess, b.total_excess) << label;
     EXPECT_EQ(a.min_feasible_excess, b.min_feasible_excess) << label;
     EXPECT_EQ(a.searches_performed, b.searches_performed) << label;
+    EXPECT_EQ(a.nodes_settled, b.nodes_settled) << label;
+    EXPECT_EQ(a.landmarks_used, b.landmarks_used) << label;
+    EXPECT_EQ(a.alt_refreshes, b.alt_refreshes) << label;
+    EXPECT_EQ(a.heuristic_weight, b.heuristic_weight) << label;
     EXPECT_EQ(a.total_delay, b.total_delay) << label;
   }
 }
@@ -165,6 +169,73 @@ TEST(FuzzDifferential, BatchServiceMatchesSerialAcrossSeededPrograms) {
     EXPECT_EQ(result.records[c].name, cases[c].program.name());
     expect_identical(serial[c], result.records[c].result,
                      "batch/case" + std::to_string(c));
+  }
+}
+
+TEST(FuzzDifferential, AltUnitWeightMatchesGridAcrossParallelismConfigs) {
+  // ALT landmarks at heuristic_weight = 1.0 are an exact-search
+  // implementation detail: across the whole fuzz corpus the mapped output
+  // (latency, placements, trace hash) must be identical to the grid
+  // heuristic, and the ALT-enabled run itself must stay bit-identical
+  // across every parallelism configuration — including the diagnostics.
+  const std::vector<Fabric> fabrics = make_fabrics();
+  const std::vector<FuzzCase> cases = make_cases();
+
+  for (std::size_t c = 0; c < cases.size(); ++c) {
+    MapperOptions grid = cases[c].options;
+    grid.jobs = 1;
+    grid.route_jobs = 1;
+    grid.route_landmarks = 0;
+    const MapResult grid_serial =
+        map_program(cases[c].program, fabrics[cases[c].fabric], grid);
+
+    MapperOptions alt = grid;
+    alt.route_landmarks = 8;
+    alt.route_heuristic_weight = 1.0;
+    const MapResult alt_serial =
+        map_program(cases[c].program, fabrics[cases[c].fabric], alt);
+
+    const std::string label = "alt_vs_grid/case" + std::to_string(c);
+    EXPECT_EQ(grid_serial.latency, alt_serial.latency) << label;
+    EXPECT_EQ(grid_serial.initial_placement, alt_serial.initial_placement)
+        << label;
+    EXPECT_EQ(grid_serial.final_placement, alt_serial.final_placement)
+        << label;
+    EXPECT_EQ(trace_hash(grid_serial), trace_hash(alt_serial)) << label;
+    ASSERT_TRUE(alt_serial.negotiation.has_value()) << label;
+    EXPECT_EQ(alt_serial.negotiation->landmarks_used, 8) << label;
+    EXPECT_EQ(alt_serial.negotiation->heuristic_weight, 1.0) << label;
+
+    struct Config {
+      const char* name;
+      int jobs;
+      int route_jobs;
+    };
+    for (const Config& config : {Config{"trial_parallel", 4, 1},
+                                 Config{"net_parallel", 1, 4},
+                                 Config{"trial_and_net_parallel", 4, 4}}) {
+      MapperOptions options = alt;
+      options.jobs = config.jobs;
+      options.route_jobs = config.route_jobs;
+      const MapResult result =
+          map_program(cases[c].program, fabrics[cases[c].fabric], options);
+      expect_identical(alt_serial, result,
+                       std::string("alt/") + config.name + "/case" +
+                           std::to_string(c));
+    }
+
+    // The bounded-suboptimal knob must not break the parallel determinism
+    // contract either: w = 1.5 serial equals w = 1.5 net-parallel.
+    MapperOptions weighted = alt;
+    weighted.route_heuristic_weight = 1.5;
+    const MapResult weighted_serial =
+        map_program(cases[c].program, fabrics[cases[c].fabric], weighted);
+    MapperOptions weighted_parallel = weighted;
+    weighted_parallel.route_jobs = 4;
+    const MapResult weighted_net = map_program(
+        cases[c].program, fabrics[cases[c].fabric], weighted_parallel);
+    expect_identical(weighted_serial, weighted_net,
+                     "alt_w1.5/net_parallel/case" + std::to_string(c));
   }
 }
 
