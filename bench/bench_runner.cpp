@@ -24,6 +24,9 @@
 // so speedups are measured against live pre-optimization behaviour — never
 // against a number frozen in a doc. batch_throughput likewise measures the
 // batch service against a live sequential map_program loop.
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +47,8 @@
 #include "service/batch_mapper.hpp"
 #include "service/corpus.hpp"
 #include "service/serve_loop.hpp"
+#include "service/shard_client.hpp"
+#include "service/shard_supervisor.hpp"
 
 using namespace qspr;
 using qspr_bench::JsonWriter;
@@ -1091,6 +1096,193 @@ int main(int argc, char** argv) {
                 << table.to_string();
     }
     json.end_object();
+  }
+
+  // ------------------------------------------------------ shard failover ---
+  // Availability of the sharded front-end under seeded worker SIGKILLs:
+  // real qspr_serve processes behind an in-process ShardSupervisor, one
+  // retrying client. Three numbers matter: availability (requests answered
+  // ok / sent — the exactly-once ledger makes lost a hard failure, not a
+  // statistic), tail latency including the kills, and recovery (kill ->
+  // both shards Up again). Skipped with a notice when the worker binary is
+  // not next to this one (set QSPR_SERVE_BIN to point at it).
+  {
+    const auto worker_binary = [] {
+      const char* env = std::getenv("QSPR_SERVE_BIN");
+      if (env != nullptr && *env != '\0') return std::string(env);
+      char buffer[4096];
+      const ssize_t n =
+          ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+      if (n <= 0) return std::string();
+      buffer[n] = '\0';
+      const std::string path(buffer);
+      const std::size_t slash = path.find_last_of('/');
+      if (slash == std::string::npos) return std::string();
+      return path.substr(0, slash + 1) + "qspr_serve";
+    }();
+    if (worker_binary.empty() ||
+        ::access(worker_binary.c_str(), X_OK) != 0) {
+      std::cout << "\nshard_failover: skipped (no qspr_serve next to "
+                   "bench_runner; set QSPR_SERVE_BIN)\n";
+      json.key("shard_failover").begin_object();
+      json.field("skipped", true);
+      json.end_object();
+    } else {
+      ShardSupervisorOptions sup;
+      sup.shard_count = 2;
+      sup.worker_binary = worker_binary;
+      sup.worker_args = {"--mapper-threads", "1", "--jobs", "1"};
+      sup.health_interval_ms = 100;
+      sup.health_timeout_ms = 1500;
+      sup.restart_backoff.base_ms = 50;
+      sup.restart_backoff.cap_ms = 500;
+      sup.restart_backoff.seed = 1;
+      sup.max_redispatch = 8;
+      sup.drain_deadline_ms = 30'000;
+      ShardSupervisor supervisor(sup);
+      supervisor.start();
+      std::thread serving([&supervisor] { (void)supervisor.serve(); });
+
+      ShardClientOptions copts;
+      copts.port = supervisor.port();
+      copts.request_timeout_ms = 120'000;
+      copts.max_attempts = 40;
+      copts.backoff.base_ms = 20;
+      copts.backoff.cap_ms = 200;
+      copts.backoff.seed = 7;
+      ShardClient client(copts);
+
+      const auto shards_up = [&client]() -> int {
+        std::string reply;
+        if (!client.try_request(R"({"type":"health","id":"h"})", reply)) {
+          return -1;
+        }
+        const std::size_t pos = reply.find("\"shards_up\":");
+        if (pos == std::string::npos) return -1;
+        return std::atoi(reply.c_str() + pos + 12);
+      };
+      const auto wait_for_up = [&shards_up](int want) {
+        const Stopwatch waited;
+        while (shards_up() < want && waited.elapsed_ms() < 30'000.0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        return waited.elapsed_ms();
+      };
+      const auto map_line = [](const std::string& id, int m) {
+        qspr::JsonWriter request;
+        request.begin_object()
+            .field("type", "map")
+            .field("id", id)
+            .field("qasm", "QUBIT q0,0\nQUBIT q1,0\nH q0\nC-X q0,q1\n"
+                           "MEASURE q1\n")
+            .field("placer", "mc")
+            .field("m", m)
+            .field("seed", 3)
+            .end_object();
+        return request.str();
+      };
+      const auto percentile = [](std::vector<double> values, double q) {
+        if (values.empty()) return 0.0;
+        std::sort(values.begin(), values.end());
+        const auto index = static_cast<std::size_t>(
+            q * static_cast<double>(values.size() - 1) + 0.5);
+        return values[std::min(index, values.size() - 1)];
+      };
+      wait_for_up(2);
+
+      // Recovery: SIGKILL the shard all requests route to, time until both
+      // shards report Up again (cooldown escalates per consecutive trip,
+      // resetting on the health success in between).
+      const int target = shard_for_fabric("", 2);
+      std::vector<double> recovery_ms;
+      const int recovery_reps = smoke ? 2 : 3;
+      for (int rep = 0; rep < recovery_reps; ++rep) {
+        const std::vector<int> pids = supervisor.worker_pids();
+        if (pids[static_cast<std::size_t>(target)] > 0) {
+          ::kill(pids[static_cast<std::size_t>(target)], SIGKILL);
+        }
+        recovery_ms.push_back(wait_for_up(2));
+      }
+
+      // Availability: sequential requests with SIGKILLs landing every
+      // `kill_every` requests; the retrying client must see every one of
+      // them answered ok. A request() throw is a LOST reply — the one
+      // outcome this whole subsystem exists to rule out — and fails the
+      // bench run outright.
+      const int requests = smoke ? 16 : 48;
+      const int kill_every = smoke ? 6 : 12;
+      const int trials = smoke ? 24 : 48;
+      long long ok = 0;
+      long long error_replies = 0;
+      long long lost = 0;
+      int kills = recovery_reps;
+      std::vector<double> laps;
+      const Stopwatch wall;
+      for (int r = 0; r < requests; ++r) {
+        if (r > 0 && r % kill_every == 0) {
+          const std::vector<int> pids = supervisor.worker_pids();
+          if (pids[static_cast<std::size_t>(target)] > 0) {
+            ::kill(pids[static_cast<std::size_t>(target)], SIGKILL);
+            ++kills;
+          }
+        }
+        const Stopwatch lap;
+        try {
+          const std::string reply =
+              client.request(map_line("fo-" + std::to_string(r), trials));
+          laps.push_back(lap.elapsed_ms());
+          if (reply.find("\"ok\":true") != std::string::npos) {
+            ++ok;
+          } else {
+            ++error_replies;
+          }
+        } catch (const Error&) {
+          ++lost;
+        }
+      }
+      const double wall_ms = wall.elapsed_ms();
+      wait_for_up(2);
+      const SupervisorMetrics metrics = supervisor.metrics();
+      supervisor.request_drain();
+      serving.join();
+
+      const double availability =
+          requests > 0 ? static_cast<double>(ok) / requests : 0.0;
+      double recovery_p50 = percentile(recovery_ms, 0.50);
+      json.key("shard_failover").begin_object();
+      json.field("shards", 2);
+      json.field("requests", static_cast<long long>(requests));
+      json.field("kills", static_cast<long long>(kills));
+      json.field("ok", ok);
+      json.field("error_replies", error_replies);
+      json.field("lost", lost);
+      json.field("availability", availability);
+      json.field("wall_ms", wall_ms);
+      json.field("p50_ms", percentile(laps, 0.50));
+      json.field("p99_ms", percentile(laps, 0.99));
+      json.field("recovery_p50_ms", recovery_p50);
+      json.field("redispatches", metrics.redispatches);
+      json.field("crashes", metrics.crashes);
+      json.field("accepted", metrics.accepted);
+      json.field("answered", metrics.answered);
+      json.field("single_core_caveat",
+                 "supervisor, two workers, and the client share this "
+                 "host's cores; latency tails and recovery are upper "
+                 "bounds");
+      json.end_object();
+      std::cout << "\nshard failover (2 shards, " << kills << " SIGKILLs, "
+                << requests << " requests): availability "
+                << format_fixed(availability * 100.0, 1) << "%, lost "
+                << lost << ", p99 " << format_fixed(percentile(laps, 0.99), 1)
+                << " ms, recovery p50 " << format_fixed(recovery_p50, 0)
+                << " ms\n";
+      if (lost != 0 || metrics.accepted != metrics.answered) {
+        std::cerr << "shard_failover: reply ledger broken (lost=" << lost
+                  << ", accepted=" << metrics.accepted
+                  << ", answered=" << metrics.answered << ")\n";
+        return 1;
+      }
+    }
   }
 
   json.end_object();

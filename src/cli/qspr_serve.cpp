@@ -40,8 +40,12 @@ int usage(const char* argv0) {
       << "                         with `overloaded` (default 16)\n"
       << "  --max-connections <n>  concurrent clients (default 64)\n"
       << "  --max-frame-bytes <n>  request/response line cap (default 1 MiB)\n"
-      << "  --retry-after-ms <n>   back-off hint in overload replies "
-         "(default 50)\n"
+      << "  --retry-after-ms <n>   floor of the adaptive back-off hint in\n"
+      << "                         overload replies (default 50)\n"
+      << "  --retry-ceiling-ms <n> ceiling of that hint (default 2000)\n"
+      << "  --shard-id <n>         shard index stamped into health/stats\n"
+      << "                         replies (set by qspr_shard; default: "
+         "unset)\n"
       << "  --drain-ms <n>         graceful-drain budget before in-flight\n"
       << "                         work is cancelled (default 2000)\n"
       << "  --deadline-ms <n>      server-side default per-request deadline\n"
@@ -115,6 +119,15 @@ int main(int argc, char** argv) {
         if (options.retry_after_ms < 0) {
           throw Error("--retry-after-ms must be >= 0");
         }
+      } else if (arg == "--retry-ceiling-ms") {
+        options.retry_after_ceiling_ms =
+            static_cast<int>(parse_integer(next()));
+        if (options.retry_after_ceiling_ms < 0) {
+          throw Error("--retry-ceiling-ms must be >= 0");
+        }
+      } else if (arg == "--shard-id") {
+        options.shard_id = static_cast<int>(parse_integer(next()));
+        if (options.shard_id < 0) throw Error("--shard-id must be >= 0");
       } else if (arg == "--drain-ms") {
         options.drain_deadline_ms =
             static_cast<double>(parse_integer(next()));

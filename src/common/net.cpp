@@ -167,6 +167,41 @@ int poll_fds(std::vector<PollEntry>& entries, int timeout_ms) {
   return ready;
 }
 
+FileDescriptor connect_nonblocking(const std::string& host, int port,
+                                   bool& pending) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail_errno("socket");
+  set_nonblocking(fd.get());
+  const int enable = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  sockaddr_in address = make_address(host, port);
+  pending = false;
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&address),
+                  sizeof(address)) == 0) {
+      return fd;  // loopback connects often complete synchronously
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINPROGRESS) {
+      pending = true;
+      return fd;
+    }
+    // Immediate refusal (dead worker's port): an invalid descriptor, not an
+    // exception — SO_ERROR was already consumed by connect() itself, so the
+    // poll-then-check path cannot report it.
+    return FileDescriptor();
+  }
+}
+
+int pending_connect_error(int fd) {
+  int error = 0;
+  socklen_t size = sizeof(error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &size) != 0) {
+    return errno != 0 ? errno : EBADF;
+  }
+  return error;
+}
+
 FileDescriptor connect_client(const std::string& host, int port) {
   FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) fail_errno("socket");

@@ -120,4 +120,19 @@ int poll_fds(std::vector<PollEntry>& entries, int timeout_ms);
 /// side). Throws qspr::Error on failure. The returned fd is *blocking*.
 FileDescriptor connect_client(const std::string& host, int port);
 
+/// Begins a non-blocking connect for event-loop callers (the shard
+/// supervisor's worker lanes): returns the in-progress socket and sets
+/// `pending` when the handshake has not completed yet — poll the fd for
+/// writability, then check pending_connect_error(). An immediately refused
+/// connect returns an *invalid* descriptor (not an exception — a supervisor
+/// probes dead workers as a matter of course); qspr::Error is reserved for
+/// setup failures (bad address, no fds).
+FileDescriptor connect_nonblocking(const std::string& host, int port,
+                                   bool& pending);
+
+/// SO_ERROR of a socket whose non-blocking connect signalled writable:
+/// 0 = established, otherwise the errno of the failed handshake
+/// (ECONNREFUSED for a dead worker's port).
+int pending_connect_error(int fd);
+
 }  // namespace qspr

@@ -76,6 +76,51 @@ bool AdmissionQueue::draining() const {
   return draining_;
 }
 
+RetryAfterEstimator::RetryAfterEstimator(RetryEstimatorOptions options)
+    : options_(options) {
+  require(options_.alpha >= 0.0 && options_.alpha <= 1.0,
+          "retry estimator alpha must be in [0, 1]");
+  require(options_.floor_ms >= 0, "retry estimator floor must be >= 0");
+  require(options_.ceiling_ms >= options_.floor_ms,
+          "retry estimator ceiling must be >= floor");
+}
+
+void RetryAfterEstimator::observe_request_ms(double ms) {
+  if (ms < 0.0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!seeded_) {
+    ewma_ = ms;
+    seeded_ = true;
+    return;
+  }
+  ewma_ += options_.alpha * (ms - ewma_);
+}
+
+int RetryAfterEstimator::suggest_ms(int queue_depth, int drain_threads) const {
+  double ewma = 0.0;
+  bool seeded = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ewma = ewma_;
+    seeded = seeded_;
+  }
+  if (!seeded) return options_.floor_ms;
+  // Expected time until the backlog drains enough to admit a retry: the
+  // depth+1 counts the slot the retrying client itself will need.
+  const double depth = static_cast<double>(std::max(queue_depth, 0) + 1);
+  const double threads = static_cast<double>(std::max(drain_threads, 1));
+  const double hint = ewma * depth / threads;
+  const double clamped =
+      std::min(static_cast<double>(options_.ceiling_ms),
+               std::max(static_cast<double>(options_.floor_ms), hint));
+  return static_cast<int>(clamped);
+}
+
+double RetryAfterEstimator::ewma_ms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ewma_;
+}
+
 void ServeMetrics::bump(long long Counters::* counter) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++(counters_.*counter);
@@ -113,6 +158,7 @@ ServeMetrics::Snapshot ServeMetrics::snapshot() const {
     snap.cancelled = counters_.cancelled;
     snap.expired = counters_.expired;
     snap.bad_requests = counters_.bad_requests;
+    snap.health_probes = counters_.health_probes;
     snap.connections_opened = counters_.connections_opened;
     snap.connections_failed = counters_.connections_failed;
     snap.in_flight = in_flight_;

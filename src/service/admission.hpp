@@ -75,6 +75,47 @@ class AdmissionQueue {
   bool closed_ = false;
 };
 
+/// Tuning for RetryAfterEstimator. The floor is what the fixed
+/// `retry_after_ms` constant used to be; the ceiling stops a momentary cost
+/// spike from telling clients to go away for minutes.
+struct RetryEstimatorOptions {
+  /// EWMA smoothing factor for observed per-request cost (1.0 = latest
+  /// sample wins outright, 0.0 = frozen).
+  double alpha = 0.2;
+  int floor_ms = 50;
+  int ceiling_ms = 2000;
+};
+
+/// Derives the `retry_after_ms` overload hint from the observed queue drain
+/// rate instead of a fixed constant: an EWMA of recent per-request mapping
+/// cost times the current queue depth, divided by the threads draining it,
+/// clamped to [floor, ceiling]. Monotone by construction in both the queue
+/// depth and the observed cost, so a deeper backlog or slower requests can
+/// only push the hint up, never down. Thread-safe: mapper threads observe,
+/// the poll thread suggests.
+class RetryAfterEstimator {
+ public:
+  explicit RetryAfterEstimator(RetryEstimatorOptions options = {});
+
+  /// Folds one completed request's mapping cost into the EWMA. Negative
+  /// samples are ignored (a clock hiccup must not poison the estimate).
+  void observe_request_ms(double ms);
+
+  /// The back-off hint for a request shed with `queue_depth` tickets ahead
+  /// of it and `drain_threads` mapper threads clearing them. With no
+  /// observations yet, returns the floor (the legacy fixed constant).
+  [[nodiscard]] int suggest_ms(int queue_depth, int drain_threads) const;
+
+  /// Current smoothed per-request cost estimate (0 until first sample).
+  [[nodiscard]] double ewma_ms() const;
+
+ private:
+  RetryEstimatorOptions options_;
+  mutable std::mutex mutex_;
+  double ewma_ = 0.0;
+  bool seeded_ = false;
+};
+
 /// Monotonic service counters plus a bounded reservoir of recent per-request
 /// mapping CPU times for p50/p99. All methods thread-safe.
 class ServeMetrics {
@@ -87,6 +128,7 @@ class ServeMetrics {
     long long cancelled = 0;   // client-cancel + drain-cancel replies
     long long expired = 0;     // deadline replies
     long long bad_requests = 0;
+    long long health_probes = 0;  // queue-bypassing liveness checks answered
     long long connections_opened = 0;
     long long connections_failed = 0;  // closed for cause (oversize, slow, io)
     int in_flight = 0;
@@ -102,6 +144,7 @@ class ServeMetrics {
   void count_cancelled() { bump(&Counters::cancelled); }
   void count_expired() { bump(&Counters::expired); }
   void count_bad_request() { bump(&Counters::bad_requests); }
+  void count_health_probe() { bump(&Counters::health_probes); }
   void count_connection_opened() { bump(&Counters::connections_opened); }
   void count_connection_failed() { bump(&Counters::connections_failed); }
 
@@ -125,6 +168,7 @@ class ServeMetrics {
     long long cancelled = 0;
     long long expired = 0;
     long long bad_requests = 0;
+    long long health_probes = 0;
     long long connections_opened = 0;
     long long connections_failed = 0;
   };

@@ -97,6 +97,10 @@ ServeRequest parse_serve_request(std::string_view frame,
     request.kind = RequestKind::Stats;
     return request;
   }
+  if (type == "health") {
+    request.kind = RequestKind::Health;
+    return request;
+  }
   if (type == "cancel") {
     request.kind = RequestKind::Cancel;
     request.cancel_target = string_field(root, "target", /*required=*/true);
@@ -226,6 +230,22 @@ std::string serve_pong_json(const std::string& id) {
   json.field("id", id);
   json.field("ok", true);
   json.field("pong", true);
+  json.end_object();
+  return json.str();
+}
+
+std::string serve_health_json(const std::string& id, bool draining,
+                              double uptime_ms, int shard_id, int queue_depth,
+                              int in_flight) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("id", id);
+  json.field("ok", true);
+  json.field("health", draining ? "draining" : "ok");
+  json.field("uptime_ms", uptime_ms);
+  if (shard_id >= 0) json.field("shard_id", shard_id);
+  json.field("queue_depth", queue_depth);
+  json.field("in_flight", in_flight);
   json.end_object();
   return json.str();
 }

@@ -6,6 +6,7 @@
 //               "placer":"mc","m":8,"seed":1,"deadline_ms":5000}
 //              {"type":"stats","id":"s1"}   {"type":"ping","id":"p1"}
 //              {"type":"cancel","id":"c1","target":"r1"}
+//              {"type":"health","id":"h1"}   (poll-loop-served liveness)
 //   responses  {"id":"r1","ok":true,"latency_us":...,"result_fp":"..."}
 //              {"id":"r1","ok":false,"code":"overloaded","retry_after_ms":50}
 //
@@ -15,7 +16,9 @@
 // retry), draining (daemon shutting down — retry against a healthy
 // instance), deadline (per-request deadline expired), cancelled
 // (client-initiated), map_failed (the mapping itself failed; the message
-// carries the diagnostic), unknown_request (cancel target not in flight).
+// carries the diagnostic), unknown_request (cancel target not in flight),
+// shard_down (qspr_shard only: the target shard's breaker is open or the
+// request outlived its re-dispatch budget — back off retry_after_ms).
 //
 // The codec is pure data-plane: framing, parsing, response building. It
 // holds no sockets and no engine, which is what makes the fault-injection
@@ -63,7 +66,7 @@ class FrameReader {
   bool overflowed_ = false;
 };
 
-enum class RequestKind : std::uint8_t { Map, Stats, Ping, Cancel };
+enum class RequestKind : std::uint8_t { Map, Stats, Ping, Cancel, Health };
 
 /// One parsed request frame. For Map, exactly one of `qasm` (inline program
 /// text) is required; `fabric` is a server-side fabric spec ("" = server
@@ -111,6 +114,15 @@ struct CodecLimits {
                                            std::string_view message,
                                            int retry_after_ms = 0);
 [[nodiscard]] std::string serve_pong_json(const std::string& id);
+/// The `{"type":"health"}` liveness reply: always answered from the poll
+/// loop (never queued), so it stays truthful when the admission queue is
+/// full or the mappers are wedged — which is exactly when a supervisor
+/// needs it. shard_id < 0 means "not launched by a supervisor" and omits
+/// the field.
+[[nodiscard]] std::string serve_health_json(const std::string& id,
+                                            bool draining, double uptime_ms,
+                                            int shard_id, int queue_depth,
+                                            int in_flight);
 [[nodiscard]] std::string serve_cancel_ack_json(const std::string& id,
                                                 const std::string& target,
                                                 bool found);

@@ -16,6 +16,15 @@ double ms_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+RetryEstimatorOptions retry_options(const ServeOptions& options) {
+  RetryEstimatorOptions opts;
+  opts.floor_ms = options.retry_after_ms;
+  // The floor is authoritative: a ceiling configured below it would make
+  // the estimator unconstructible, so lift it instead of throwing.
+  opts.ceiling_ms = std::max(options.retry_after_ceiling_ms, options.retry_after_ms);
+  return opts;
+}
+
 }  // namespace
 
 /// Poll-thread-only connection state. `pending` maps an in-flight map
@@ -42,7 +51,9 @@ struct MappingServer::Connection {
 MappingServer::MappingServer(ServeOptions options)
     : options_(std::move(options)),
       engine_(options_.workers),
-      queue_(options_.max_queue) {
+      queue_(options_.max_queue),
+      retry_estimator_(retry_options(options_)),
+      started_at_(std::chrono::steady_clock::now()) {
   require(options_.mapper_threads >= 1, "qspr_serve needs >= 1 mapper thread");
   require(options_.max_connections >= 1, "qspr_serve needs >= 1 connection");
   codec_limits_.max_frame_bytes = options_.max_frame_bytes;
@@ -131,8 +142,13 @@ std::string MappingServer::process_ticket(const ServeTicket& ticket) {
         ms_between(started, std::chrono::steady_clock::now());
     metrics_.count_completed();
     metrics_.record_trial_cpu_ms(result.trial_cpu_ms);
+    retry_estimator_.observe_request_ms(map_ms);
     return serve_result_json(id, result, queue_ms, map_ms);
   } catch (const CancelledError& e) {
+    // Cancelled mid-mapping: the thread was still occupied for that long,
+    // so the sample belongs in the drain-rate estimate.
+    retry_estimator_.observe_request_ms(
+        ms_between(started, std::chrono::steady_clock::now()));
     if (e.reason() == CancelReason::DeadlineExpired) {
       metrics_.count_expired();
       return serve_error_json(id, "deadline", "deadline expired during mapping");
@@ -143,6 +159,8 @@ std::string MappingServer::process_ticket(const ServeTicket& ticket) {
     // QASM parse errors, unknown fabric specs, infeasible placements: the
     // request was well-formed but the mapping failed. The connection
     // survives; the diagnostic rides the reply.
+    retry_estimator_.observe_request_ms(
+        ms_between(started, std::chrono::steady_clock::now()));
     metrics_.count_failed();
     return serve_error_json(id, "map_failed", e.what());
   }
@@ -292,7 +310,7 @@ void MappingServer::accept_clients() {
       // Best-effort refusal; the daemon sheds connections, never queues them.
       const std::string refusal =
           serve_error_json("", "overloaded", "connection limit reached",
-                           options_.retry_after_ms) +
+                           retry_hint_ms()) +
           "\n";
       (void)write_some(client.get(), refusal);
       metrics_.count_connection_failed();
@@ -362,6 +380,15 @@ void MappingServer::handle_frame(Connection& conn, std::string_view frame) {
     case RequestKind::Stats:
       enqueue_reply(conn, stats_json(request.id));
       return;
+    case RequestKind::Health:
+      // Served here on the poll thread, never through the admission queue:
+      // a supervisor probing liveness must get an answer precisely when the
+      // queue is full or the mappers are wedged.
+      metrics_.count_health_probe();
+      enqueue_reply(conn, serve_health_json(request.id, draining_, uptime_ms(),
+                                            options_.shard_id, queue_.depth(),
+                                            metrics_.snapshot().in_flight));
+      return;
     case RequestKind::Cancel: {
       const auto it = conn.pending.find(request.cancel_target);
       const bool found = it != conn.pending.end();
@@ -407,8 +434,7 @@ void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
     } else {
       enqueue_reply(conn,
                     serve_error_json(ticket->request.id, "overloaded",
-                                     "admission queue full",
-                                     options_.retry_after_ms));
+                                     "admission queue full", retry_hint_ms()));
     }
     return;
   }
@@ -478,6 +504,14 @@ void MappingServer::destroy_connection(std::uint64_t id) {
   connections_.erase(it);
 }
 
+int MappingServer::retry_hint_ms() const {
+  return retry_estimator_.suggest_ms(queue_.depth(), options_.mapper_threads);
+}
+
+double MappingServer::uptime_ms() const {
+  return ms_between(started_at_, std::chrono::steady_clock::now());
+}
+
 std::string MappingServer::stats_json(const std::string& id) {
   const ServeMetrics::Snapshot snap = metrics_.snapshot();
   const FabricArtifactCache::Stats cache = engine_.artifacts().stats();
@@ -491,6 +525,11 @@ std::string MappingServer::stats_json(const std::string& id) {
   json.field("max_queue", options_.max_queue);
   json.field("in_flight", snap.in_flight);
   json.field("draining", draining_);
+  json.field("uptime_ms", uptime_ms());
+  if (options_.shard_id >= 0) json.field("shard_id", options_.shard_id);
+  json.field("health_probes", snap.health_probes);
+  json.field("retry_after_hint_ms", retry_hint_ms());
+  json.field("retry_cost_ewma_ms", retry_estimator_.ewma_ms());
   json.field("accepted", snap.accepted);
   json.field("rejected", snap.rejected);
   json.field("completed", snap.completed);

@@ -53,8 +53,17 @@ struct ServeOptions {
   std::size_t max_frame_bytes = 1 << 20;
   /// Per-connection reply buffer bound; a reader slower than this is cut.
   std::size_t max_outbox_bytes = 4u << 20;
-  /// Suggested client back-off carried in `overloaded` replies.
+  /// Floor of the back-off hint carried in `overloaded` replies. The hint
+  /// itself is adaptive: an EWMA of recent per-request mapping cost times
+  /// the queue depth ahead of the shed request (see RetryAfterEstimator),
+  /// clamped to [retry_after_ms, retry_after_ceiling_ms]. With no completed
+  /// requests observed yet the floor is the hint, which is exactly the old
+  /// fixed-constant behaviour.
   int retry_after_ms = 50;
+  int retry_after_ceiling_ms = 2000;
+  /// Shard index stamped into health/stats replies when this daemon was
+  /// launched by qspr_shard (-1 = standalone, field omitted).
+  int shard_id = -1;
   /// How long a drain waits for queued + in-flight work before cancelling
   /// it; the daemon still exits cleanly either way.
   double drain_deadline_ms = 2000.0;
@@ -111,6 +120,8 @@ class MappingServer {
   void destroy_connection(std::uint64_t id);
   [[nodiscard]] std::string stats_json(const std::string& id);
   [[nodiscard]] bool quiescent();
+  [[nodiscard]] int retry_hint_ms() const;
+  [[nodiscard]] double uptime_ms() const;
 
   ServeOptions options_;
   CodecLimits codec_limits_;
@@ -118,6 +129,8 @@ class MappingServer {
   FabricSource fabrics_;
   AdmissionQueue queue_;
   ServeMetrics metrics_;
+  RetryAfterEstimator retry_estimator_;
+  std::chrono::steady_clock::time_point started_at_{};
   WakePipe wake_;
   ListenSocket listen_;
   std::vector<std::thread> mappers_;

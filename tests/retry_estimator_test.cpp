@@ -1,0 +1,99 @@
+// The adaptive retry_after_ms estimator: floor before any evidence,
+// monotonicity in both queue depth and observed request cost, the ceiling
+// clamp, EWMA convergence, and rejection of nonsense tuning — the contract
+// the `overloaded` reply's back-off hint rests on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "service/admission.hpp"
+
+namespace qspr {
+namespace {
+
+RetryEstimatorOptions tuned(double alpha, int floor_ms, int ceiling_ms) {
+  RetryEstimatorOptions options;
+  options.alpha = alpha;
+  options.floor_ms = floor_ms;
+  options.ceiling_ms = ceiling_ms;
+  return options;
+}
+
+TEST(RetryAfterEstimator, FloorUntilFirstObservation) {
+  const RetryAfterEstimator estimator(tuned(0.2, 50, 2000));
+  EXPECT_EQ(estimator.ewma_ms(), 0.0);
+  EXPECT_EQ(estimator.suggest_ms(0, 2), 50);
+  EXPECT_EQ(estimator.suggest_ms(100, 1), 50);  // depth alone is no evidence
+}
+
+TEST(RetryAfterEstimator, MonotoneInQueueDepth) {
+  RetryAfterEstimator estimator(tuned(1.0, 5, 100'000));
+  estimator.observe_request_ms(40.0);
+  int previous = 0;
+  for (int depth = 0; depth <= 32; ++depth) {
+    const int hint = estimator.suggest_ms(depth, 2);
+    EXPECT_GE(hint, previous) << depth;
+    previous = hint;
+  }
+  // And exactly linear where nothing clamps: ewma * (depth+1) / threads.
+  EXPECT_EQ(estimator.suggest_ms(0, 2), 20);
+  EXPECT_EQ(estimator.suggest_ms(3, 2), 80);
+  EXPECT_EQ(estimator.suggest_ms(4, 1), 200);
+}
+
+TEST(RetryAfterEstimator, MonotoneInObservedCost) {
+  // alpha=1: the latest sample is the estimate, so rising request cost
+  // must raise the hint at a fixed backlog.
+  RetryAfterEstimator estimator(tuned(1.0, 5, 100'000));
+  int previous = 0;
+  for (double cost = 10.0; cost <= 200.0; cost += 10.0) {
+    estimator.observe_request_ms(cost);
+    const int hint = estimator.suggest_ms(4, 2);
+    EXPECT_GE(hint, previous) << cost;
+    previous = hint;
+  }
+}
+
+TEST(RetryAfterEstimator, FloorAndCeilingClamp) {
+  RetryAfterEstimator estimator(tuned(1.0, 50, 200));
+  estimator.observe_request_ms(1.0);
+  EXPECT_EQ(estimator.suggest_ms(0, 4), 50);  // tiny cost: floor holds
+  estimator.observe_request_ms(10'000.0);
+  EXPECT_EQ(estimator.suggest_ms(32, 1), 200);  // huge backlog: ceiling holds
+}
+
+TEST(RetryAfterEstimator, EwmaConverges) {
+  RetryAfterEstimator estimator(tuned(0.5, 0, 1'000'000));
+  estimator.observe_request_ms(100.0);   // seed
+  EXPECT_DOUBLE_EQ(estimator.ewma_ms(), 100.0);
+  estimator.observe_request_ms(0.0);
+  EXPECT_DOUBLE_EQ(estimator.ewma_ms(), 50.0);
+  for (int i = 0; i < 50; ++i) estimator.observe_request_ms(40.0);
+  EXPECT_NEAR(estimator.ewma_ms(), 40.0, 1e-9);
+}
+
+TEST(RetryAfterEstimator, NegativeSamplesAreIgnored) {
+  RetryAfterEstimator estimator(tuned(1.0, 5, 1000));
+  estimator.observe_request_ms(-3.0);  // clock hiccup: must not seed
+  EXPECT_EQ(estimator.suggest_ms(10, 1), 5);
+  estimator.observe_request_ms(30.0);
+  estimator.observe_request_ms(-1.0);  // nor poison an existing estimate
+  EXPECT_DOUBLE_EQ(estimator.ewma_ms(), 30.0);
+}
+
+TEST(RetryAfterEstimator, DegenerateThreadAndDepthInputsAreSafe) {
+  RetryAfterEstimator estimator(tuned(1.0, 5, 1000));
+  estimator.observe_request_ms(50.0);
+  // Zero/negative drain threads clamp to 1; negative depth clamps to 0.
+  EXPECT_EQ(estimator.suggest_ms(0, 0), 50);
+  EXPECT_EQ(estimator.suggest_ms(-7, -3), 50);
+}
+
+TEST(RetryAfterEstimator, RejectsNonsenseOptions) {
+  EXPECT_THROW(RetryAfterEstimator{tuned(-0.1, 50, 2000)}, Error);
+  EXPECT_THROW(RetryAfterEstimator{tuned(1.1, 50, 2000)}, Error);
+  EXPECT_THROW(RetryAfterEstimator{tuned(0.2, -1, 2000)}, Error);
+  EXPECT_THROW(RetryAfterEstimator{tuned(0.2, 100, 50)}, Error);
+}
+
+}  // namespace
+}  // namespace qspr

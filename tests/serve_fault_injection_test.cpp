@@ -383,7 +383,10 @@ TEST(ServeFaultInjection, OverloadFloodShedsExplicitlyAndRecovers) {
       ++ok;
     } else {
       EXPECT_EQ(reply.string_or("code", ""), "overloaded");
-      EXPECT_EQ(reply.number_or("retry_after_ms", -1), 25);
+      // The hint is adaptive (EWMA x backlog) but always inside the
+      // configured clamp band.
+      EXPECT_GE(reply.number_or("retry_after_ms", -1), 25);
+      EXPECT_LE(reply.number_or("retry_after_ms", -1), 2000);
       ++shed;
     }
   }
@@ -481,6 +484,117 @@ TEST(ServeFaultInjection, PerRequestFabricSelectsAndCachesServerSide) {
   EXPECT_TRUE(client.recv_json().bool_or("ok", false));
   expect_no_leaked_slots(client);
   EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, HealthProbeAnswersEvenWhenTheQueueIsFull) {
+  // The probe's whole point: it is served on the poll thread, never
+  // queued, so it stays truthful exactly when admission is wedged shut.
+  ServeOptions options;
+  options.mapper_threads = 1;
+  options.max_queue = 1;
+  options.shard_id = 3;
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  // Occupy the mapper, wait until the job is genuinely running (not just
+  // queued), then fill the whole queue behind it.
+  client.send_line(map_request("slow0", 400));
+  for (int i = 0; i < 500; ++i) {
+    client.send_line(R"({"type":"stats","id":"poll"})");
+    const JsonValue* stats = client.recv_json().find("stats");
+    ASSERT_NE(stats, nullptr);
+    if (stats->number_or("in_flight", 0) == 1 &&
+        stats->number_or("queue_depth", -1) == 0) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  client.send_line(map_request("slow1", 400));
+  client.send_line(R"({"type":"health","id":"h1"})");
+  const JsonValue health = client.recv_json();
+  // The health reply arrives FIRST — both maps are still in the system.
+  EXPECT_EQ(health.string_or("id", ""), "h1");
+  EXPECT_TRUE(health.bool_or("ok", false));
+  EXPECT_EQ(health.string_or("health", ""), "ok");
+  EXPECT_EQ(health.number_or("shard_id", -1), 3);
+  EXPECT_GE(health.number_or("uptime_ms", -1), 0.0);
+  EXPECT_GE(health.number_or("queue_depth", -1) +
+                health.number_or("in_flight", -1),
+            1.0);
+
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+  }
+  expect_no_leaked_slots(client);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, StatsCarryUptimeShardIdAndHealthProbeCount) {
+  ServeOptions options;
+  options.shard_id = 7;
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  for (int i = 0; i < 3; ++i) {
+    client.send_line(R"({"type":"health","id":"h"})");
+    EXPECT_EQ(client.recv_json().string_or("health", ""), "ok");
+  }
+  client.send_line(R"({"type":"stats","id":"s"})");
+  const JsonValue reply = client.recv_json();
+  const JsonValue* stats = reply.find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->number_or("shard_id", -1), 7);
+  EXPECT_EQ(stats->number_or("health_probes", -1), 3);
+  EXPECT_GE(stats->number_or("uptime_ms", -1), 0.0);
+  EXPECT_GE(stats->number_or("retry_after_hint_ms", -1), 0.0);
+  EXPECT_EQ(harness.drain_and_join(), 0);
+
+  // Standalone daemons (no supervisor) must NOT claim a shard id.
+  ServeHarness standalone;
+  RawClient solo(standalone.port());
+  solo.send_line(R"({"type":"stats","id":"s"})");
+  const JsonValue* solo_stats = solo.recv_json().find("stats");
+  ASSERT_NE(solo_stats, nullptr);
+  EXPECT_EQ(solo_stats->find("shard_id"), nullptr);
+  solo.send_line(R"({"type":"health","id":"h"})");
+  EXPECT_EQ(solo.recv_json().find("shard_id"), nullptr);
+  EXPECT_EQ(standalone.drain_and_join(), 0);
+}
+
+TEST(ServeFaultInjection, RetryAfterHintAdaptsToObservedCost) {
+  // With a tiny floor and a mapper that has already served real requests,
+  // the overload hint must exceed the floor: it now reflects EWMA cost
+  // times the backlog instead of the old fixed constant.
+  ServeOptions options;
+  options.mapper_threads = 1;
+  options.max_queue = 1;
+  options.retry_after_ms = 1;  // floor so low any real EWMA clears it
+  options.retry_after_ceiling_ms = 60'000;
+  ServeHarness harness(options);
+  RawClient client(harness.port());
+
+  // Feed the estimator with genuinely slow completions.
+  for (int i = 0; i < 3; ++i) {
+    client.send_line(map_request("warm" + std::to_string(i), 300));
+    EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+  }
+  // Now overflow the queue and read the hint off the shed replies.
+  client.send_line(map_request("occupy", 300));
+  client.send_line(map_request("queued", 4));
+  int hint = -1;
+  std::vector<JsonValue> replies;
+  for (int i = 0; i < 8 && hint < 0; ++i) {
+    client.send_line(map_request("burst" + std::to_string(i), 4));
+    const JsonValue reply = client.recv_json();
+    if (reply.string_or("code", "") == "overloaded") {
+      hint = static_cast<int>(reply.number_or("retry_after_ms", -1));
+    } else if (reply.bool_or("ok", false)) {
+      continue;  // a queued job finished first; keep flooding
+    }
+  }
+  ASSERT_GT(hint, 1) << "hint never rose above the floor";
+  // Drain the outstanding replies so the harness exits cleanly.
+  harness.drain_and_join();
 }
 
 }  // namespace

@@ -1,0 +1,408 @@
+// Chaos harness for qspr_shard's supervisor: real qspr_serve worker
+// processes (fork/exec of the build-tree binary), real kills.
+//
+// What it proves, over seeded kill schedules:
+//   1. exactly-once: every accepted map request is answered exactly once —
+//      a worker SIGKILLed mid-request still yields one reply, via
+//      transparent re-dispatch to a sibling or restarted worker;
+//   2. bit-identity: a re-dispatched request's result fingerprint equals a
+//      direct in-process map_program run — re-execution is safe because
+//      mapping is pure;
+//   3. wedges (SIGSTOP) are detected by the queue-bypassing health probe,
+//      SIGKILLed, and replaced;
+//   4. a crash-looping worker binary turns into explicit `shard_down`
+//      shedding behind the circuit breaker, not a hang;
+//   5. drain cascades: SIGTERM answers what is in flight, reaps every
+//      child (spawns == reaps, kill(pid, 0) => ESRCH), exits 0 — no
+//      leaked workers, no leftover port files.
+//
+// Worker discovery: qspr_serve next to this test binary (the build tree
+// layout); override with QSPR_SERVE_BIN.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "core/qspr.hpp"
+#include "service/request_codec.hpp"
+#include "service/shard_client.hpp"
+#include "service/shard_supervisor.hpp"
+
+namespace qspr {
+namespace {
+
+constexpr const char* kTinyQasm =
+    "QUBIT q0,0\nQUBIT q1,0\nQUBIT q2,0\nH q0\nC-X q0,q1\nC-X q1,q2\n"
+    "MEASURE q2\n";
+
+std::string worker_binary() {
+  const char* env = std::getenv("QSPR_SERVE_BIN");
+  if (env != nullptr && *env != '\0') return env;
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return "qspr_serve";
+  buffer[n] = '\0';
+  const std::string path(buffer);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "qspr_serve";
+  return path.substr(0, slash + 1) + "qspr_serve";
+}
+
+std::string map_request(const std::string& id, int m) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("type", "map");
+  json.field("id", id);
+  json.field("qasm", kTinyQasm);
+  json.field("placer", "mc");
+  json.field("m", m);
+  json.field("seed", 1);
+  json.end_object();
+  return json.str();
+}
+
+/// The fingerprint a correct service MUST return for map_request(id, m):
+/// the same program/options/seed mapped directly in this process.
+std::string direct_fingerprint(int m) {
+  const Program program = parse_qasm(kTinyQasm, "direct");
+  const Fabric fabric = make_paper_fabric();
+  MapperOptions options;
+  options.placer = PlacerKind::MonteCarlo;
+  options.monte_carlo_trials = m;
+  options.rng_seed = 1;
+  return map_result_fingerprint(map_program(program, fabric, options));
+}
+
+/// In-process supervisor under test; serve() runs on a background thread.
+class ShardHarness {
+ public:
+  explicit ShardHarness(ShardSupervisorOptions options) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    if (options.worker_binary.empty()) options.worker_binary = worker_binary();
+    // Workers sized for a small CI box: single mapper thread each.
+    if (options.worker_args.empty()) {
+      options.worker_args = {"--mapper-threads", "1", "--jobs", "1"};
+    }
+    supervisor_ = std::make_unique<ShardSupervisor>(std::move(options));
+    supervisor_->start();
+    thread_ = std::thread([this] { exit_code_ = supervisor_->serve(); });
+  }
+
+  ~ShardHarness() { drain_and_join(); }
+
+  [[nodiscard]] int port() const { return supervisor_->port(); }
+  [[nodiscard]] ShardSupervisor& supervisor() { return *supervisor_; }
+
+  int drain_and_join() {
+    if (thread_.joinable()) {
+      supervisor_->request_drain();
+      thread_.join();
+    }
+    return exit_code_;
+  }
+
+  /// Polls the supervisor's health endpoint until `want` shards are Up.
+  bool wait_for_up(int want, int timeout_ms = 30'000) {
+    ShardClientOptions options;
+    options.port = port();
+    ShardClient probe(options);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      std::string reply;
+      if (probe.try_request(R"({"type":"health","id":"w"})", reply)) {
+        const JsonValue json = parse_json(reply);
+        if (json.number_or("shards_up", -1) >= want) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<ShardSupervisor> supervisor_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+ShardSupervisorOptions fast_options(int shards) {
+  ShardSupervisorOptions options;
+  options.shard_count = shards;
+  options.health_interval_ms = 100;
+  options.health_timeout_ms = 1500;
+  options.restart_backoff.base_ms = 50;
+  options.restart_backoff.cap_ms = 500;
+  options.restart_backoff.seed = 1;
+  options.max_redispatch = 8;  // chaos schedules kill repeatedly
+  options.drain_deadline_ms = 30'000;
+  return options;
+}
+
+ShardClientOptions client_options(int port) {
+  ShardClientOptions options;
+  options.port = port;
+  options.request_timeout_ms = 120'000;
+  options.max_attempts = 40;  // rides out restart windows
+  options.backoff.base_ms = 20;
+  options.backoff.cap_ms = 200;
+  options.backoff.seed = 7;
+  return options;
+}
+
+/// kill(pid, 0) probe: true while the process (or its zombie) exists.
+bool process_exists(int pid) {
+  return pid > 0 && (::kill(pid, 0) == 0 || errno != ESRCH);
+}
+
+TEST(ShardChaos, BringsUpShardsAndServesBitIdenticalResults) {
+  ShardHarness harness(fast_options(2));
+  ASSERT_TRUE(harness.wait_for_up(2));
+
+  ShardClient client(client_options(harness.port()));
+  const std::string reply_line = client.request(map_request("r1", 8));
+  const JsonValue reply = parse_json(reply_line);
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(reply.string_or("id", ""), "r1");
+  // Bit-identity through the whole supervisor -> worker -> back path.
+  EXPECT_EQ(reply.string_or("result_fp", ""), direct_fingerprint(8));
+
+  // Supervisor-local request types answer without touching a worker.
+  std::string line;
+  ASSERT_TRUE(client.try_request(R"({"type":"ping","id":"p"})", line));
+  EXPECT_TRUE(parse_json(line).bool_or("pong", false));
+  ASSERT_TRUE(client.try_request(R"({"type":"stats","id":"s"})", line));
+  const JsonValue stats = parse_json(line);
+  ASSERT_NE(stats.find("stats"), nullptr);
+  EXPECT_EQ(stats.find("stats")->string_or("role", ""), "supervisor");
+  EXPECT_EQ(stats.find("stats")->number_or("shards_up", -1), 2);
+
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ShardChaos, SigkillMidRequestStillAnswersExactlyOnceBitIdentical) {
+  ShardHarness harness(fast_options(2));
+  ASSERT_TRUE(harness.wait_for_up(2));
+  const int target = shard_for_fabric("", 2);  // where kTinyQasm routes
+  const std::vector<int> pids = harness.supervisor().worker_pids();
+  ASSERT_GT(pids[static_cast<std::size_t>(target)], 0);
+
+  // A slow request (seconds on one core) so the SIGKILL lands mid-map.
+  std::string reply_line;
+  std::atomic<bool> got_reply{false};
+  std::thread requester([&] {
+    ShardClient client(client_options(harness.port()));
+    reply_line = client.request(map_request("victim", 3000));
+    got_reply.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ASSERT_FALSE(got_reply.load()) << "request finished before the kill; "
+                                    "raise m for this box";
+  ASSERT_EQ(::kill(pids[static_cast<std::size_t>(target)], SIGKILL), 0);
+  requester.join();
+
+  // Exactly one reply, and it is the right one: bit-identical to a direct
+  // run even though a different worker computed it.
+  const JsonValue reply = parse_json(reply_line);
+  EXPECT_TRUE(reply.bool_or("ok", false)) << reply_line;
+  EXPECT_EQ(reply.string_or("id", ""), "victim");
+  EXPECT_EQ(reply.string_or("result_fp", ""), direct_fingerprint(3000));
+
+  const SupervisorMetrics metrics = harness.supervisor().metrics();
+  EXPECT_GE(metrics.crashes, 1);
+  EXPECT_GE(metrics.redispatches, 1);
+  EXPECT_EQ(metrics.accepted, metrics.answered);
+
+  // The killed worker is replaced (new pid, both shards Up again).
+  EXPECT_TRUE(harness.wait_for_up(2));
+  const std::vector<int> after = harness.supervisor().worker_pids();
+  EXPECT_GT(after[static_cast<std::size_t>(target)], 0);
+  EXPECT_NE(after[static_cast<std::size_t>(target)],
+            pids[static_cast<std::size_t>(target)]);
+
+  EXPECT_EQ(harness.drain_and_join(), 0);
+}
+
+TEST(ShardChaos, SeededKillScheduleLosesNoReplies) {
+  ShardHarness harness(fast_options(2));
+  ASSERT_TRUE(harness.wait_for_up(2));
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 8;
+  std::atomic<int> ok_replies{0};
+  std::atomic<int> error_replies{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ShardClient client(client_options(harness.port()));
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const std::string id =
+            "c" + std::to_string(c) + "_r" + std::to_string(r);
+        // request() throws only when the retry budget is spent; any
+        // returned line is the exactly-one reply for this id.
+        const std::string line = client.request(map_request(id, 60));
+        const JsonValue reply = parse_json(line);
+        ASSERT_EQ(reply.string_or("id", ""), id) << line;
+        if (reply.bool_or("ok", false)) {
+          ok_replies.fetch_add(1);
+        } else {
+          error_replies.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Seeded kill schedule: deterministic victims and intervals.
+  std::atomic<bool> stop_killing{false};
+  std::thread killer([&] {
+    Rng rng(2026);
+    int kills = 0;
+    while (!stop_killing.load() && kills < 6) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          200 + static_cast<int>(rng.uniform_index(300))));
+      const int victim = static_cast<int>(rng.uniform_index(2));
+      const std::vector<int> pids = harness.supervisor().worker_pids();
+      if (pids[static_cast<std::size_t>(victim)] > 0) {
+        ::kill(pids[static_cast<std::size_t>(victim)], SIGKILL);
+        ++kills;
+      }
+    }
+  });
+
+  for (std::thread& thread : clients) thread.join();
+  stop_killing.store(true);
+  killer.join();
+
+  // Every request got exactly one reply (request() returned once each).
+  EXPECT_EQ(ok_replies.load() + error_replies.load(),
+            kClients * kRequestsPerClient);
+  // Under an 8-redispatch budget and siblings to fail over to, the seeded
+  // schedule must not surface errors to well-behaved retrying clients.
+  EXPECT_EQ(error_replies.load(), 0);
+
+  // The supervisor's own ledger balances once the dust settles.
+  const SupervisorMetrics metrics = harness.supervisor().metrics();
+  EXPECT_EQ(metrics.accepted, metrics.answered);
+  EXPECT_GE(metrics.reaps, 1);  // the schedule landed at least one kill
+
+  EXPECT_TRUE(harness.wait_for_up(2));
+  EXPECT_EQ(harness.drain_and_join(), 0);
+
+  const SupervisorMetrics final_metrics = harness.supervisor().metrics();
+  EXPECT_EQ(final_metrics.spawns, final_metrics.reaps);
+}
+
+TEST(ShardChaos, WedgedWorkerIsDetectedKilledAndReplaced) {
+  ShardSupervisorOptions options = fast_options(2);
+  options.health_timeout_ms = 600;  // fast wedge verdicts
+  ShardHarness harness(options);
+  ASSERT_TRUE(harness.wait_for_up(2));
+
+  const int target = shard_for_fabric("", 2);
+  const std::vector<int> pids = harness.supervisor().worker_pids();
+  const int wedged_pid = pids[static_cast<std::size_t>(target)];
+  ASSERT_GT(wedged_pid, 0);
+  // SIGSTOP: the process is alive (waitpid sees nothing) but cannot answer
+  // the poll-loop health probe — the definition of a wedge.
+  ASSERT_EQ(::kill(wedged_pid, SIGSTOP), 0);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (harness.supervisor().metrics().wedges < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(harness.supervisor().metrics().wedges, 1);
+
+  // Replacement comes up and serves the wedged shard's traffic again.
+  ASSERT_TRUE(harness.wait_for_up(2));
+  ShardClient client(client_options(harness.port()));
+  const JsonValue reply = parse_json(client.request(map_request("after", 8)));
+  EXPECT_TRUE(reply.bool_or("ok", false));
+  EXPECT_EQ(reply.string_or("result_fp", ""), direct_fingerprint(8));
+
+  EXPECT_EQ(harness.drain_and_join(), 0);
+  EXPECT_FALSE(process_exists(wedged_pid));
+}
+
+TEST(ShardChaos, CrashLoopingWorkerBinaryShedsExplicitly) {
+  ShardSupervisorOptions options = fast_options(1);
+  options.worker_binary = "/nonexistent/qspr_serve";
+  options.breaker_threshold = 2;
+  ShardHarness harness(options);
+
+  // The shard can never come up; a map request gets an explicit, prompt
+  // shard_down with a retry hint — not a hang, not a dropped connection.
+  ShardClientOptions copts;
+  copts.port = harness.port();
+  ShardClient client(copts);
+  std::string line;
+  ASSERT_TRUE(client.try_request(map_request("doomed", 4), line));
+  const JsonValue reply = parse_json(line);
+  EXPECT_FALSE(reply.bool_or("ok", true));
+  EXPECT_EQ(reply.string_or("code", ""), "shard_down");
+  EXPECT_GT(reply.number_or("retry_after_ms", -1), 0);
+
+  // The exec failures were observed (exit 127 -> reaped, breaker cycling).
+  const SupervisorMetrics metrics = harness.supervisor().metrics();
+  EXPECT_GE(metrics.spawns, 1);
+
+  EXPECT_EQ(harness.drain_and_join(), 0);
+  const SupervisorMetrics final_metrics = harness.supervisor().metrics();
+  EXPECT_EQ(final_metrics.spawns, final_metrics.reaps);
+}
+
+TEST(ShardChaos, DrainCascadeAnswersInFlightReapsAllWorkersExitsZero) {
+  ShardHarness harness(fast_options(2));
+  ASSERT_TRUE(harness.wait_for_up(2));
+  const std::vector<int> pids = harness.supervisor().worker_pids();
+  for (const int pid : pids) ASSERT_GT(pid, 0);
+
+  // A request in flight when the drain starts must still be answered (the
+  // worker drains, not aborts).
+  std::string reply_line;
+  std::thread requester([&] {
+    ShardClient client(client_options(harness.port()));
+    reply_line = client.request(map_request("inflight", 800));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  const int code = harness.drain_and_join();
+  requester.join();
+  EXPECT_EQ(code, 0);
+
+  const JsonValue reply = parse_json(reply_line);
+  EXPECT_EQ(reply.string_or("id", ""), "inflight");
+  // Either the worker finished it (ok) or the drain deadline cancelled it
+  // (cancelled/draining) — but it was answered, exactly once.
+  if (!reply.bool_or("ok", false)) {
+    const std::string code_str = reply.string_or("code", "");
+    EXPECT_TRUE(code_str == "cancelled" || code_str == "draining")
+        << reply_line;
+  }
+
+  // No leaked workers: every spawned pid was reaped and is gone.
+  const SupervisorMetrics metrics = harness.supervisor().metrics();
+  EXPECT_EQ(metrics.spawns, metrics.reaps);
+  for (const int pid : pids) EXPECT_FALSE(process_exists(pid)) << pid;
+
+  // No leftover port files either.
+  for (int i = 0; i < 2; ++i) {
+    const std::string port_file = "/tmp/qspr_shard_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(i) + ".port";
+    EXPECT_NE(::access(port_file.c_str(), F_OK), 0) << port_file;
+  }
+}
+
+}  // namespace
+}  // namespace qspr

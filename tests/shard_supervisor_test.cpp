@@ -1,0 +1,247 @@
+// Supervisor internals, unit-tested without a single process spawn: the
+// deterministic restart backoff (exact replay under a seed, monotonicity,
+// cap, jitter bounds), the per-shard circuit breaker driven by a fake
+// clock (threshold trip, half-open probe outcomes, cooldown escalation),
+// and the fabric-fingerprint routing (stability across calls — i.e. across
+// worker restarts — the "" == "paper" canonicalisation, and a pinned hash
+// value so the routing key can never drift silently between releases).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "service/shard_client.hpp"
+#include "service/shard_supervisor.hpp"
+
+namespace qspr {
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+TimePoint tick(long long ms) {
+  return TimePoint{} + std::chrono::milliseconds(ms);
+}
+
+// ---------------------------------------------------------------------------
+// BackoffPolicy
+// ---------------------------------------------------------------------------
+
+TEST(BackoffPolicy, DeterministicReplayUnderOneSeed) {
+  BackoffOptions options;
+  options.base_ms = 50;
+  options.cap_ms = 10'000;
+  options.jitter_frac = 0.25;
+  options.seed = 42;
+  const BackoffPolicy a(options);
+  const BackoffPolicy b(options);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    EXPECT_EQ(a.delay_ms(attempt), b.delay_ms(attempt)) << attempt;
+  }
+}
+
+TEST(BackoffPolicy, ZeroJitterIsExactDoubling) {
+  BackoffOptions options;
+  options.base_ms = 10;
+  options.cap_ms = 1'000'000;
+  options.jitter_frac = 0.0;
+  const BackoffPolicy policy(options);
+  EXPECT_EQ(policy.delay_ms(0), 10);
+  EXPECT_EQ(policy.delay_ms(1), 20);
+  EXPECT_EQ(policy.delay_ms(2), 40);
+  EXPECT_EQ(policy.delay_ms(5), 320);
+  EXPECT_EQ(policy.delay_ms(10), 10'240);
+}
+
+TEST(BackoffPolicy, MonotoneNonDecreasingAndCapped) {
+  BackoffOptions options;
+  options.base_ms = 25;
+  options.cap_ms = 2000;
+  options.jitter_frac = 0.25;
+  options.seed = 7;
+  const BackoffPolicy policy(options);
+  int previous = 0;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    const int delay = policy.delay_ms(attempt);
+    EXPECT_LE(delay, options.cap_ms) << attempt;
+    // Jitter is multiplicative on a doubling base, so the schedule may
+    // wobble within one attempt's band but never below the unjittered
+    // value of any earlier attempt.
+    EXPECT_GE(delay, std::min(25 << std::min(attempt, 6), 2000)) << attempt;
+    if (attempt >= 8) {
+      EXPECT_EQ(delay, options.cap_ms) << attempt;
+    }
+    previous = delay;
+  }
+  (void)previous;
+}
+
+TEST(BackoffPolicy, JitterStaysInsideItsBand) {
+  BackoffOptions options;
+  options.base_ms = 100;
+  options.cap_ms = 1'000'000;
+  options.jitter_frac = 0.5;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    options.seed = seed;
+    const BackoffPolicy policy(options);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int unjittered = 100 << attempt;
+      const int delay = policy.delay_ms(attempt);
+      EXPECT_GE(delay, unjittered) << "seed " << seed << " attempt " << attempt;
+      EXPECT_LT(delay, static_cast<int>(unjittered * 1.5) + 1)
+          << "seed " << seed << " attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffPolicy, RejectsNonsenseOptions) {
+  BackoffOptions bad;
+  bad.base_ms = 100;
+  bad.cap_ms = 50;  // cap below base
+  EXPECT_THROW(BackoffPolicy{bad}, Error);
+  bad = BackoffOptions{};
+  bad.jitter_frac = 1.5;
+  EXPECT_THROW(BackoffPolicy{bad}, Error);
+}
+
+// ---------------------------------------------------------------------------
+// CircuitBreaker (fake clock: every transition is injected time)
+// ---------------------------------------------------------------------------
+
+CircuitBreakerOptions breaker_options(int threshold, int base_ms,
+                                      int cap_ms) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = threshold;
+  options.cooldown.base_ms = base_ms;
+  options.cooldown.cap_ms = cap_ms;
+  options.cooldown.jitter_frac = 0.0;  // exact cooldowns for the test
+  return options;
+}
+
+TEST(CircuitBreaker, ClosedUntilThresholdConsecutiveFailures) {
+  CircuitBreaker breaker(breaker_options(3, 100, 10'000));
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  breaker.record_failure(tick(0));
+  breaker.record_failure(tick(1));
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  breaker.record_failure(tick(2));
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.reopen_at(), tick(2 + 100));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker breaker(breaker_options(3, 100, 10'000));
+  breaker.record_failure(tick(0));
+  breaker.record_failure(tick(1));
+  breaker.record_success();
+  breaker.record_failure(tick(2));
+  breaker.record_failure(tick(3));
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+}
+
+TEST(CircuitBreaker, OpenShedsUntilTheCooldownThenHalfOpens) {
+  CircuitBreaker breaker(breaker_options(1, 100, 10'000));
+  breaker.record_failure(tick(0));
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_FALSE(breaker.allow_probe(tick(50)));
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_TRUE(breaker.allow_probe(tick(100)));
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  // Half-open admits the probe traffic (idempotent until the verdict).
+  EXPECT_TRUE(breaker.allow_probe(tick(101)));
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensWithEscalatedCooldown) {
+  CircuitBreaker breaker(breaker_options(1, 100, 10'000));
+  breaker.record_failure(tick(0));           // trip 1: cooldown 100
+  ASSERT_TRUE(breaker.allow_probe(tick(100)));
+  breaker.record_failure(tick(100));         // trip 2: cooldown 200
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.reopen_at(), tick(100 + 200));
+  ASSERT_TRUE(breaker.allow_probe(tick(300)));
+  breaker.record_failure(tick(300));         // trip 3: cooldown 400
+  EXPECT_EQ(breaker.reopen_at(), tick(300 + 400));
+  EXPECT_EQ(breaker.trips(), 3);
+}
+
+TEST(CircuitBreaker, CooldownEscalationIsCapped) {
+  CircuitBreaker breaker(breaker_options(1, 100, 400));
+  long long now = 0;
+  for (int round = 0; round < 8; ++round) {
+    breaker.record_failure(tick(now));
+    const auto reopen = breaker.reopen_at();
+    const auto cooldown = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              reopen - tick(now))
+                              .count();
+    EXPECT_LE(cooldown, 400) << round;
+    now += cooldown;
+    ASSERT_TRUE(breaker.allow_probe(tick(now)));
+  }
+}
+
+TEST(CircuitBreaker, SuccessFromHalfOpenClosesAndResetsTrips) {
+  CircuitBreaker breaker(breaker_options(1, 100, 10'000));
+  breaker.record_failure(tick(0));
+  ASSERT_TRUE(breaker.allow_probe(tick(100)));
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.trips(), 0);
+  // The next trip starts back at the base cooldown, not the escalated one.
+  breaker.record_failure(tick(200));
+  EXPECT_EQ(breaker.reopen_at(), tick(200 + 100));
+}
+
+TEST(CircuitBreaker, ForceOpenIsImmediate) {
+  CircuitBreaker breaker(breaker_options(5, 100, 10'000));
+  breaker.force_open(tick(10));
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_FALSE(breaker.allow_probe(tick(10)));
+  EXPECT_TRUE(breaker.allow_probe(tick(110)));
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouting, EmptySpecCanonicalisesToPaper) {
+  EXPECT_EQ(fabric_route_fingerprint(""), fabric_route_fingerprint("paper"));
+  for (int shards = 1; shards <= 8; ++shards) {
+    EXPECT_EQ(shard_for_fabric("", shards), shard_for_fabric("paper", shards));
+  }
+}
+
+TEST(ShardRouting, PinnedFingerprintNeverDrifts) {
+  // FNV-1a 64 of "paper". A change here silently re-routes every cached
+  // fabric after an upgrade — bump only with a migration note.
+  EXPECT_EQ(fabric_route_fingerprint("paper"), 1756972527519192911ull);
+}
+
+TEST(ShardRouting, StableAcrossCallsAndInRange) {
+  const std::vector<std::string> specs = {
+      "", "paper", "fabrics/a.fab", "fabrics/b.fab", "x", "y", "z"};
+  for (const std::string& spec : specs) {
+    const int first = shard_for_fabric(spec, 4);
+    EXPECT_GE(first, 0);
+    EXPECT_LT(first, 4);
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      EXPECT_EQ(shard_for_fabric(spec, 4), first) << spec;
+    }
+  }
+}
+
+TEST(ShardRouting, DistinctSpecsSpreadAcrossShards) {
+  // Not a uniformity proof — just that the hash is not degenerate: a
+  // handful of distinct specs must not all collapse onto one shard.
+  std::vector<int> hits(4, 0);
+  for (int i = 0; i < 64; ++i) {
+    ++hits[static_cast<std::size_t>(
+        shard_for_fabric("fabric_" + std::to_string(i) + ".fab", 4))];
+  }
+  int populated = 0;
+  for (const int count : hits) populated += count > 0 ? 1 : 0;
+  EXPECT_GE(populated, 3);
+}
+
+}  // namespace
+}  // namespace qspr
