@@ -255,8 +255,8 @@ std::string speedup_cell(double baseline_ns, double ns) {
 
 /// Perf-gate extractor over a *parsed* baseline BENCH_routing.json: the
 /// `ns_per_query` of the sample with the given name, engine and config,
-/// looked up across every gated suite array (pathfinder_runs and
-/// alt_longhaul). Field order and formatting no longer matter (the shared
+/// looked up across every gated suite array (pathfinder_runs, alt_longhaul
+/// and frontier_queue). Field order and formatting no longer matter (the shared
 /// JSON reader handles both), and a malformed baseline fails the gate
 /// loudly instead of silently matching nothing. Returns a negative value
 /// when the sample is absent.
@@ -264,7 +264,8 @@ double baseline_ns_per_query(const JsonValue& baseline,
                              const std::string& name,
                              const std::string& engine,
                              const std::string& config) {
-  for (const char* suite : {"pathfinder_runs", "alt_longhaul"}) {
+  for (const char* suite :
+       {"pathfinder_runs", "alt_longhaul", "frontier_queue"}) {
     const JsonValue* runs = baseline.find(suite);
     if (runs == nullptr || !runs->is_array()) continue;
     for (const JsonValue& sample : runs->items()) {
@@ -361,6 +362,95 @@ int main(int argc, char** argv) {
           .field("ns_per_query", ns)
           .field("path_delay_us", static_cast<long long>(delay))
           .end_object();
+    }
+    json.end_array();
+  }
+
+  // ------------------------------------------------------ frontier-queue ---
+  // The integer-cost Router Dijkstra under each frontier kind (binary heap /
+  // monotone bucket queue / 4-ary heap) over a mixed long-haul + local
+  // workload. The kinds pop the identical (f, g, node) order, so path delays
+  // must agree exactly (asserted below); the rows measure the pure
+  // constant-factor difference. The bucket row is the PR-9 acceptance
+  // figure and every row feeds the --smoke perf gate.
+  {
+    const Fabric fabric = make_paper_fabric();
+    const RoutingGraph graph(fabric);
+    CongestionState congestion(fabric.segment_count(),
+                               fabric.junction_count());
+    Router router(graph, params);
+    const auto central = fabric.traps_by_distance(fabric.center());
+    const TrapId corner_a = fabric.traps().front().id;
+    const TrapId corner_b = fabric.traps().back().id;
+    struct Query {
+      TrapId from;
+      TrapId to;
+    };
+    const std::vector<Query> queries = {
+        {corner_a, corner_b},        // corner-to-corner haul
+        {central[0], central[1]},    // neighbour hop
+        {corner_a, central[0]},      // corner to center
+        {central[2], corner_b},      // center to corner
+    };
+    const int reps = smoke ? 20 : 2000;
+
+    json.key("frontier_queue").begin_array();
+    Duration reference_delay = -1;
+    for (const FrontierKind kind :
+         {FrontierKind::Binary, FrontierKind::Bucket, FrontierKind::Dary4}) {
+      SearchArena<Duration> arena;
+      arena.set_frontier(kind);
+      Duration delay_sum = 0;
+      const std::uint64_t settles_before = arena.settle_count();
+      const double ns_per_rep = qspr_bench::time_ns_per_rep(reps, [&] {
+        delay_sum = 0;
+        for (const Query& q : queries) {
+          const auto path =
+              router.route_trap_to_trap(q.from, q.to, congestion, arena);
+          delay_sum += path.has_value() ? path->total_delay() : -1;
+        }
+      });
+      const auto settles = static_cast<long long>(
+          arena.settle_count() - settles_before);
+      const double ns_per_query =
+          ns_per_rep / static_cast<double>(queries.size());
+      const double settles_per_sec =
+          ns_per_rep > 0.0
+              ? static_cast<double>(settles) / static_cast<double>(reps) /
+                    (ns_per_rep * 1e-9)
+              : 0.0;
+      if (reference_delay < 0) {
+        reference_delay = delay_sum;
+      } else if (delay_sum != reference_delay) {
+        // The equivalence contract broke: the frontier is no longer a pure
+        // constant-factor knob. Numbers recorded against it are garbage.
+        std::cerr << "frontier_queue: " << to_string(kind)
+                  << " path delays diverged from binary (" << delay_sum
+                  << " vs " << reference_delay << ")\n";
+        return 1;
+      }
+      std::cout << "frontier_queue/" << to_string(kind) << ": "
+                << format_fixed(ns_per_query, 0) << " ns/query, "
+                << format_fixed(settles_per_sec / 1e6, 2) << " M settles/s\n";
+      json.begin_object()
+          .field("name", "router_dijkstra")
+          .field("engine", std::string(to_string(kind)))
+          .field("config", "paper_45x85_mixed")
+          .field("repetitions", reps)
+          .field("queries_per_rep", static_cast<long long>(queries.size()))
+          .field("ns_per_query", ns_per_query)
+          .field("nodes_settled", settles)
+          .field("settles_per_sec", settles_per_sec)
+          .field("path_delay_us", static_cast<long long>(delay_sum))
+          .end_object();
+      PathFinderSample gate_row;
+      gate_row.name = "router_dijkstra";
+      gate_row.engine = to_string(kind);
+      gate_row.config = "paper_45x85_mixed";
+      gate_row.repetitions = reps;
+      gate_row.ns_per_query = ns_per_query;
+      gate_row.nodes_settled = settles;
+      gated_samples.push_back(std::move(gate_row));
     }
     json.end_array();
   }

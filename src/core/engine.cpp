@@ -138,6 +138,11 @@ struct MappingEngine::PendingState {
   std::shared_ptr<SingleState> single;
   Executor::Job single_job;
 
+  /// Program-derived setup (QIDG, rank, trial submission) runs here so batch
+  /// staging overlaps it with other jobs' trials. The flow-job handles above
+  /// are written by this job; wait on it before reading them.
+  Executor::Job setup_job;
+
   Executor* executor = nullptr;
   bool collected = false;
 
@@ -145,7 +150,12 @@ struct MappingEngine::PendingState {
     if (collected || executor == nullptr) return;
     // Drain an abandoned job so the trial bodies' captures (which point
     // into this object) cannot outlive it. Failures were never collected;
-    // swallow them.
+    // swallow them. The setup job goes first: waiting it makes the flow-job
+    // handles it submitted visible and valid.
+    try {
+      if (setup_job.valid()) executor->wait(setup_job);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
     try {
       if (mvfb_run.valid()) executor->wait(mvfb_run.job());
       if (mc_run.valid()) executor->wait(mc_run.job());
@@ -190,63 +200,91 @@ MappingEngine::PendingMap MappingEngine::begin(const MapJob& job) {
   auto state = std::make_unique<PendingState>();
   state->executor = &executor_;
   state->job = job;
-  state->qidg = DependencyGraph::build(*job.program);
 
   MapResult& result = state->result;
   result.kind = options.kind;
   result.jobs = executor_.worker_count();
-  result.ideal_latency = state->qidg.critical_path_latency(options.tech);
 
-  PendingMap pending;
+  // Flow selection and fabric-artifact resolution stay on the calling
+  // thread — the cache is the only reader of the caller's fabric, so the
+  // begin()-reads-the-fabric contract holds. The program-derived setup
+  // (QIDG build, critical path, schedule rank) runs as an executor job that
+  // then nested-submits the placement trials, so a batch coordinator
+  // staging job N+1 overlaps its setup with job N's trials.
   if (options.kind == MapperKind::IdealBaseline) {
     // The ideal bound needs no routing artifacts at all — don't build any.
     state->flow = PendingState::Flow::Ideal;
-    result.latency = result.ideal_latency;
     result.placement_runs = 0;
-    pending.state_ = std::move(state);
-    return pending;
-  }
-
-  state->artifacts = cache_.get(*job.fabric);
-  const FabricArtifacts& artifacts = *state->artifacts;
-  state->exec = execution_options_for(options);
-  state->rank = make_schedule_rank(state->qidg, state->exec.tech,
-                                   schedule_options_for(options));
-
-  if (options.kind != MapperKind::Qspr ||
-      options.placer == PlacerKind::Center) {
-    // Single-placement flows: QUALE / QPOS (center placement, §I) or a QSPR
-    // ablation with the center placer.
-    state->flow = PendingState::Flow::Single;
-    state->single = std::make_shared<PendingState::SingleState>();
-    state->single->initial = center_placement_from(
-        artifacts.traps_near_center, job.program->qubit_count());
-    state->single_job = executor_.submit(
-        1, [s = state.get(), keep = state->artifacts,
-            cancel = job.cancel](std::size_t, int) {
-          cancel.check();
-          const ThreadCpuTimer watch;
-          s->single->execution =
-              execute_circuit(s->qidg, keep->fabric, keep->graph, s->rank,
-                              s->single->initial, s->exec);
-          s->single->trial_cpu_ms = watch.elapsed_ms();
-        });
-  } else if (options.placer == PlacerKind::MonteCarlo) {
-    state->flow = PendingState::Flow::MonteCarlo;
-    state->mc_run = monte_carlo_submit(
-        state->qidg, artifacts.fabric, artifacts.graph, state->rank,
-        state->exec, options.monte_carlo_trials, options.rng_seed, executor_,
-        &artifacts.traps_near_center, job.cancel);
   } else {
-    state->flow = PendingState::Flow::Mvfb;
-    state->mvfb = std::make_unique<MvfbPlacer>(
-        state->qidg, artifacts.fabric, artifacts.graph, state->rank,
-        state->exec,
-        MvfbOptions{options.mvfb_seeds, 3, 64, options.rng_seed,
-                    executor_.worker_count(), job.cancel},
-        &artifacts.traps_near_center);
-    state->mvfb_run = state->mvfb->submit(executor_);
+    state->artifacts = cache_.get(*job.fabric);
+    state->exec = execution_options_for(options);
+    if (options.kind != MapperKind::Qspr ||
+        options.placer == PlacerKind::Center) {
+      // Single-placement flows: QUALE / QPOS (center placement, §I) or a
+      // QSPR ablation with the center placer.
+      state->flow = PendingState::Flow::Single;
+      state->single = std::make_shared<PendingState::SingleState>();
+    } else if (options.placer == PlacerKind::MonteCarlo) {
+      state->flow = PendingState::Flow::MonteCarlo;
+    } else {
+      state->flow = PendingState::Flow::Mvfb;
+    }
   }
+
+  state->setup_job = executor_.submit(1, [s = state.get()](std::size_t, int) {
+    const CancelToken cancel = s->job.cancel;
+    cancel.check();
+    const ThreadCpuTimer setup_watch;
+    const MapperOptions& opts = s->job.options;
+    s->qidg = DependencyGraph::build(*s->job.program);
+    s->result.ideal_latency = s->qidg.critical_path_latency(opts.tech);
+    if (s->flow == PendingState::Flow::Ideal) {
+      s->result.latency = s->result.ideal_latency;
+      s->result.setup_ms = setup_watch.elapsed_ms();
+      return;
+    }
+    const FabricArtifacts& artifacts = *s->artifacts;
+    s->rank = make_schedule_rank(s->qidg, s->exec.tech,
+                                 schedule_options_for(opts));
+    // Trial submission is the job's last act, and nothing below can throw
+    // after a flow job exists: when finish()'s setup wait rethrows, no trial
+    // handle was ever created.
+    switch (s->flow) {
+      case PendingState::Flow::Ideal:
+        break;  // handled above
+      case PendingState::Flow::Single:
+        s->single->initial = center_placement_from(
+            artifacts.traps_near_center, s->job.program->qubit_count());
+        s->result.setup_ms = setup_watch.elapsed_ms();
+        s->single_job = s->executor->submit(
+            1, [s, keep = s->artifacts, cancel](std::size_t, int) {
+              cancel.check();
+              const ThreadCpuTimer watch;
+              s->single->execution =
+                  execute_circuit(s->qidg, keep->fabric, keep->graph, s->rank,
+                                  s->single->initial, s->exec);
+              s->single->trial_cpu_ms = watch.elapsed_ms();
+            });
+        break;
+      case PendingState::Flow::MonteCarlo:
+        s->result.setup_ms = setup_watch.elapsed_ms();
+        s->mc_run = monte_carlo_submit(
+            s->qidg, artifacts.fabric, artifacts.graph, s->rank, s->exec,
+            opts.monte_carlo_trials, opts.rng_seed, *s->executor,
+            &artifacts.traps_near_center, cancel);
+        break;
+      case PendingState::Flow::Mvfb:
+        s->mvfb = std::make_unique<MvfbPlacer>(
+            s->qidg, artifacts.fabric, artifacts.graph, s->rank, s->exec,
+            MvfbOptions{opts.mvfb_seeds, 3, 64, opts.rng_seed,
+                        s->executor->worker_count(), cancel},
+            &artifacts.traps_near_center);
+        s->result.setup_ms = setup_watch.elapsed_ms();
+        s->mvfb_run = s->mvfb->submit(*s->executor);
+        break;
+    }
+  });
+  PendingMap pending;
   pending.state_ = std::move(state);
   return pending;
 }
@@ -256,6 +294,11 @@ MapResult MappingEngine::finish(PendingMap pending) {
   PendingState& state = *pending.state_;
   require(!state.collected, "finish() called twice on one job");
   state.collected = true;
+  // Setup first: it wrote ideal_latency/setup_ms into the result and
+  // submitted the flow job whose handle the switch below waits on. A setup
+  // failure (cancelled job, malformed program) rethrows here before any
+  // flow handle exists.
+  executor_.wait(state.setup_job);
   MapResult result = std::move(state.result);
 
   const auto finish_single = [&](const Placement& initial,

@@ -19,11 +19,11 @@
 //
 // Two entry shapes:
 //   map(...)            — blocking; the classic map_program behaviour.
-//   begin(...)/finish() — the batch pipeline: begin() stages the job on the
-//                         calling thread (QIDG, schedule rank, artifacts)
-//                         and submits the placement trials to the executor
-//                         without blocking; finish() waits and assembles the
-//                         MapResult. Several begun jobs keep every worker
+//   begin(...)/finish() — the batch pipeline: begin() resolves fabric
+//                         artifacts on the calling thread and submits the
+//                         rest of the setup (QIDG, schedule rank) plus the
+//                         placement trials to the executor without blocking;
+//                         finish() waits and assembles the MapResult. Several begun jobs keep every worker
 //                         busy across job boundaries. Per-job failures stay
 //                         per-job: a throwing trial poisons only its own
 //                         finish(), never the engine or its neighbours.
@@ -92,12 +92,15 @@ class MappingEngine {
     std::unique_ptr<PendingState> state_;
   };
 
-  /// Stages `job`: resolves fabric artifacts through the cache, builds the
-  /// QIDG and schedule rank on the calling thread, and submits the
-  /// placement-trial loop to the executor (non-blocking). Setup failures
-  /// (infeasible fabric, bad options) throw here; trial failures surface in
-  /// finish(). The job's program must stay valid until finish() — the
-  /// fabric is only read during begin() (artifacts own a copy).
+  /// Stages `job`: resolves fabric artifacts through the cache on the
+  /// calling thread, then submits the program-derived setup (QIDG build,
+  /// critical path, schedule rank) as an executor job that nested-submits
+  /// the placement-trial loop — so a coordinator staging many jobs overlaps
+  /// one job's setup with another's trials instead of serialising ahead of
+  /// them. Option validation and fabric failures (infeasible fabric, bad
+  /// options) throw here; program-derived setup failures and trial failures
+  /// surface in finish(). The job's program must stay valid until finish()
+  /// — the fabric is only read during begin() (artifacts own a copy).
   [[nodiscard]] PendingMap begin(const MapJob& job);
 
   /// Blocks until the staged job's trials finish and assembles the

@@ -133,6 +133,11 @@ struct MapResult {
   /// actually delivered — it approaches `jobs` only when that many cores
   /// genuinely ran the trials.
   double trial_cpu_ms = 0.0;
+  /// Thread-CPU time spent in program-derived setup (QIDG build, critical
+  /// path, schedule rank) — since PR 9 that work runs as an executor job
+  /// overlapped with other jobs' trials, and this field makes the
+  /// setup-vs-search split observable per request in batch/serve stats.
+  double setup_ms = 0.0;
   /// Worker threads the mapping ran with.
   int jobs = 1;
   /// Present when MapperOptions::negotiation_report was set (and the flow

@@ -26,6 +26,11 @@ void dijkstra_supergraph(const RoutingGraph& graph, double turn_cost,
   arena.heap_push(0.0, 0.0, source);
   while (!arena.heap_empty()) {
     const auto entry = arena.heap_pop();
+    // One-pop-ahead prefetch; a pure latency hint over these 2K+K full
+    // sweeps, which touch every CSR row per source.
+    const RouteNodeId ahead = arena.heap_peek_node();
+    arena.prefetch(ahead);
+    graph.prefetch_edges(ahead);
     if (entry.g != arena.dist(entry.node)) continue;  // stale heap entry
     const double exit_price = backward ? node_price[entry.node.index()] : 0.0;
     for (const RouteEdge& edge : graph.edges(entry.node)) {

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <limits>
 #include <optional>
-#include <queue>
 #include <string>
 #include <utility>
 
@@ -40,15 +39,6 @@ double edge_weight(const RouteNode& v, const RouteEdge& edge,
   }
   return static_cast<double>(params.t_move) * penalty;
 }
-
-struct QueueEntry {
-  double cost;
-  RouteNodeId node;
-  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-    if (a.cost != b.cost) return a.cost > b.cost;
-    return a.node > b.node;
-  }
-};
 
 }  // namespace
 
@@ -100,31 +90,36 @@ void NodeWeightCache::apply_weight(std::size_t index, double weight) {
 
 namespace {
 
-/// One negotiated-cost Dijkstra — the reference engine. Allocates its O(n)
-/// state per query; kept verbatim as the equivalence baseline the optimized
-/// A* engine is tested and benchmarked against.
+/// One negotiated-cost Dijkstra — the reference engine. Runs over the shared
+/// SearchArena (pushing f = g, so the frontier degenerates to plain
+/// Dijkstra order) instead of allocating O(n) dist/parent vectors per query:
+/// equivalence benchmarks against the optimized engine now compare search
+/// strategy, not allocator noise. Pop order and results are unchanged — the
+/// old priority_queue ordered by (cost, node) and the arena frontier orders
+/// by (f, g, node) = (cost, cost, node), the same total order.
 std::optional<std::vector<RouteNodeId>> route_one_reference(
     const RoutingGraph& graph, const TechnologyParams& params,
     const CongestionLedger& ledger, bool turn_aware, TrapId from, TrapId to,
-    long long& nodes_settled) {
+    SearchArena<double>& arena, long long& nodes_settled) {
   const RouteNodeId source = graph.trap_node(from);
   const RouteNodeId target = graph.trap_node(to);
   if (source == target) return std::vector<RouteNodeId>{source};
 
-  const std::size_t n = graph.node_count();
-  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
-  std::vector<RouteNodeId> parent(n);
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
-      frontier;
-  dist[source.index()] = 0.0;
-  frontier.push({0.0, source});
+  arena.begin(graph.node_count());
+  arena.relax(source, 0.0, RouteNodeId::invalid());
+  arena.heap_push(0.0, 0.0, source);
 
-  while (!frontier.empty()) {
-    const QueueEntry entry = frontier.top();
-    frontier.pop();
-    if (entry.cost > dist[entry.node.index()]) continue;
+  bool reached = false;
+  while (!arena.heap_empty()) {
+    const auto entry = arena.heap_pop();
+    // Candidates are pushed only on strict improvement, so a stale entry's g
+    // can only exceed the recorded dist: `!=` is the old `>` staleness test.
+    if (entry.g != arena.dist(entry.node)) continue;
     ++nodes_settled;
-    if (entry.node == target) break;
+    if (entry.node == target) {
+      reached = true;
+      break;
+    }
 
     for (const RouteEdge& edge : graph.edges(entry.node)) {
       const RouteNode& v = graph.node(edge.to);
@@ -132,19 +127,17 @@ std::optional<std::vector<RouteNodeId>> route_one_reference(
         continue;  // traps are endpoints only
       }
       const double weight = edge_weight(v, edge, params, ledger, turn_aware);
-      const double candidate = dist[entry.node.index()] + weight;
-      if (candidate < dist[edge.to.index()]) {
-        dist[edge.to.index()] = candidate;
-        parent[edge.to.index()] = entry.node;
-        frontier.push({candidate, edge.to});
+      const double candidate = entry.g + weight;
+      if (candidate < arena.dist(edge.to)) {
+        arena.relax(edge.to, candidate, entry.node);
+        arena.heap_push(candidate, candidate, edge.to);
       }
     }
   }
-  if (!std::isfinite(dist[target.index()])) return std::nullopt;
+  if (!reached) return std::nullopt;
 
   std::vector<RouteNodeId> path;
-  for (RouteNodeId node = target; node.is_valid();
-       node = parent[node.index()]) {
+  for (RouteNodeId node = target; node.is_valid(); node = arena.parent(node)) {
     path.push_back(node);
     if (node == source) break;
   }
@@ -215,6 +208,11 @@ bool route_one_astar(const RoutingGraph& graph,
   bool reached = false;
   while (!arena.heap_empty()) {
     const auto entry = arena.heap_pop();
+    // Start the next pop's node state + adjacency row on their way while
+    // this entry expands; purely a latency hint, never affects the search.
+    const RouteNodeId ahead = arena.heap_peek_node();
+    arena.prefetch(ahead);
+    graph.prefetch_edges(ahead);
     // Pushes happen only on strict improvement, so at most one live entry
     // per node carries g == dist: the comparison alone rejects stale
     // entries, no settled bitmap traffic needed on the hot path.
@@ -358,6 +356,9 @@ bool route_one_bidirectional(const RoutingGraph& graph,
     }
     if (arena.heap_top().f <= arena.heap_top_b().f) {
       const auto entry = arena.heap_pop();
+      const RouteNodeId ahead = arena.heap_peek_node();
+      arena.prefetch(ahead);
+      graph.prefetch_edges(ahead);
       arena.settle(entry.node);
       ++nodes_settled;
       for (const RouteEdge& edge : graph.edges(entry.node)) {
@@ -382,6 +383,9 @@ bool route_one_bidirectional(const RoutingGraph& graph,
       prune_forward();
     } else {
       const auto entry = arena.heap_pop_b();
+      const RouteNodeId ahead = arena.heap_peek_node_b();
+      arena.prefetch_b(ahead);
+      graph.prefetch_edges(ahead);
       arena.settle_b(entry.node);
       ++nodes_settled;
       // Every move edge into the settled node costs the same (weights price
@@ -723,7 +727,8 @@ PathFinderResult route_nets_negotiated_impl(
       } else {
         auto nodes = route_one_reference(graph, params, ledger,
                                          options.turn_aware, nets[i].from,
-                                         nets[i].to, result.nodes_settled);
+                                         nets[i].to, arena,
+                                         result.nodes_settled);
         routed = nodes.has_value();
         if (routed) node_buffer = std::move(*nodes);
       }

@@ -34,6 +34,11 @@ std::optional<Router::NodePath> Router::shortest_node_path(
 
   while (!arena.heap_empty()) {
     const auto entry = arena.heap_pop();
+    // Start the next pop's node state + adjacency row on their way while we
+    // expand this entry; purely a latency hint, never affects the search.
+    const RouteNodeId ahead = arena.heap_peek_node();
+    arena.prefetch(ahead);
+    graph_->prefetch_edges(ahead);
     if (arena.settled(entry.node) || entry.g != arena.dist(entry.node)) {
       continue;
     }

@@ -77,6 +77,19 @@ class RoutingGraph {
   /// Outgoing edges of `id` (the graph is symmetric).
   [[nodiscard]] EdgeSpan edges(RouteNodeId id) const;
 
+  /// Prefetches `id`'s CSR adjacency slice. Search loops call this one pop
+  /// ahead (on the frontier's next likely node) so the edge walk finds its
+  /// lines already in flight; a miss costs nothing but the hint.
+  void prefetch_edges(RouteNodeId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    if (id.is_valid() && id.index() < nodes_.size()) {
+      __builtin_prefetch(edge_storage_.data() + edge_offsets_[id.index()]);
+    }
+#else
+    (void)id;
+#endif
+  }
+
   /// Vertex for travelling through `cell` with orientation `o`; invalid when
   /// the cell does not support that orientation.
   [[nodiscard]] RouteNodeId node_at(Position cell, Orientation o) const;

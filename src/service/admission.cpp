@@ -146,6 +146,12 @@ void ServeMetrics::record_trial_cpu_ms(double ms) {
   }
 }
 
+void ServeMetrics::record_map_work(double setup_ms, long long nodes_settled) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  setup_ms_total_ += setup_ms;
+  nodes_settled_total_ += nodes_settled;
+}
+
 ServeMetrics::Snapshot ServeMetrics::snapshot() const {
   Snapshot snap;
   std::vector<double> samples;
@@ -162,6 +168,8 @@ ServeMetrics::Snapshot ServeMetrics::snapshot() const {
     snap.connections_opened = counters_.connections_opened;
     snap.connections_failed = counters_.connections_failed;
     snap.in_flight = in_flight_;
+    snap.setup_ms_total = setup_ms_total_;
+    snap.nodes_settled_total = nodes_settled_total_;
     samples = reservoir_;
   }
   snap.latency_samples = static_cast<int>(samples.size());

@@ -135,6 +135,11 @@ class ServeMetrics {
     double p50_trial_cpu_ms = 0.0;
     double p99_trial_cpu_ms = 0.0;
     int latency_samples = 0;
+    /// Setup-vs-search split over every completed map: thread-CPU ms spent
+    /// in program-derived setup and Dijkstra nodes the routing searches
+    /// settled (both monotone totals, not reservoir percentiles).
+    double setup_ms_total = 0.0;
+    long long nodes_settled_total = 0;
   };
 
   void count_accepted() { bump(&Counters::accepted); }
@@ -154,6 +159,10 @@ class ServeMetrics {
   /// Records one completed request's trial CPU time into the percentile
   /// reservoir (ring of the most recent kReservoirCapacity samples).
   void record_trial_cpu_ms(double ms);
+
+  /// Folds one completed request's setup CPU time and settled-node count
+  /// into the monotone totals surfaced by the stats endpoint.
+  void record_map_work(double setup_ms, long long nodes_settled);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -178,6 +187,8 @@ class ServeMetrics {
   mutable std::mutex mutex_;
   Counters counters_;
   int in_flight_ = 0;
+  double setup_ms_total_ = 0.0;
+  long long nodes_settled_total_ = 0;
   std::vector<double> reservoir_;
   std::size_t reservoir_next_ = 0;
 };

@@ -40,6 +40,39 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
       options_.max_in_flight > 0 ? options_.max_in_flight
                                  : std::max(2, 2 * engine_->worker_count()));
 
+  /// One QASM parse submitted ahead of the staging cursor as a 1-index
+  /// executor job, so disk + parse work overlaps in-flight trials instead of
+  /// serialising on the coordinator thread. Heap-held: the job body writes
+  /// `program` through a stable pointer. Errors are captured by the executor
+  /// and rethrow at the staging wait, landing in that record like any other
+  /// staging failure.
+  struct PendingParse {
+    std::size_t index = 0;
+    Executor::Job job;
+    std::unique_ptr<Program> program;
+  };
+  std::deque<std::unique_ptr<PendingParse>> parses;
+  std::size_t next_parse = 0;
+  const auto top_up_parses = [&] {
+    // Same in-flight window as the trial pipeline: at most `cap` parsed
+    // programs live ahead of the cursor, so lookahead cannot balloon memory
+    // on a long manifest.
+    while (next_parse < manifest.size() && parses.size() < cap) {
+      const BatchJob& ahead = manifest[next_parse];
+      if (ahead.program == nullptr && !ahead.qasm_path.empty()) {
+        auto parse = std::make_unique<PendingParse>();
+        parse->index = next_parse;
+        PendingParse* p = parse.get();
+        parse->job = engine_->executor().submit(
+            1, [p, path = ahead.qasm_path](std::size_t, int) {
+              p->program = std::make_unique<Program>(parse_qasm_file(path));
+            });
+        parses.push_back(std::move(parse));
+      }
+      ++next_parse;
+    }
+  };
+
   const auto finalize_front = [&] {
     InFlight entry = std::move(in_flight.front());
     in_flight.pop_front();
@@ -62,8 +95,10 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
     BatchJobRecord& record = batch.records[i];
     record.name = job.name;
 
-    // Keep the pipeline bounded: finalize the oldest job first. Records
+    // Launch lookahead parses before blocking on the oldest job, then keep
+    // the pipeline bounded: finalize the oldest job first. Records
     // therefore stream strictly in manifest order.
+    top_up_parses();
     while (in_flight.size() >= cap) finalize_front();
 
     InFlight entry;
@@ -73,8 +108,15 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
       if (program == nullptr) {
         require(!job.qasm_path.empty(),
                 "batch job needs a program or a qasm_path");
-        entry.owned_program =
-            std::make_unique<Program>(parse_qasm_file(job.qasm_path));
+        if (!parses.empty() && parses.front()->index == i) {
+          auto parse = std::move(parses.front());
+          parses.pop_front();
+          engine_->executor().wait(parse->job);  // rethrows parse failures
+          entry.owned_program = std::move(parse->program);
+        } else {
+          entry.owned_program =
+              std::make_unique<Program>(parse_qasm_file(job.qasm_path));
+        }
         program = entry.owned_program.get();
       }
       const Fabric* fabric = job.fabric;
@@ -102,6 +144,14 @@ BatchResult BatchMapper::run(const std::vector<BatchJob>& manifest,
       record.error = e.what();
       ++batch.summary.failed;
       if (sink) sink(record);
+    }
+  }
+  // Every parse entry is normally consumed by its manifest index; drain any
+  // stragglers so no job body outlives the state it writes into.
+  for (auto& parse : parses) {
+    try {
+      engine_->executor().wait(parse->job);
+    } catch (...) {  // NOLINT(bugprone-empty-catch) — already reported or moot
     }
   }
   while (!in_flight.empty()) finalize_front();
@@ -146,6 +196,8 @@ std::string batch_record_json(const BatchJobRecord& record) {
     json.field("placement_runs", result.placement_runs);
     json.field("wall_ms", result.cpu_ms);
     json.field("trial_cpu_ms", result.trial_cpu_ms);
+    json.field("setup_ms", result.setup_ms);
+    json.field("nodes_settled", result.stats.nodes_settled);
     if (result.negotiation.has_value()) {
       // Per-job PathFinder negotiation diagnostic (negotiation_report /
       // qspr_batch --report), bit-identical at any route_jobs.

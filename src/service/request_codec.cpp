@@ -204,6 +204,8 @@ std::string serve_result_json(const std::string& id, const MapResult& result,
   json.field("turns", result.stats.turns);
   json.field("placement_runs", result.placement_runs);
   json.field("trial_cpu_ms", result.trial_cpu_ms);
+  json.field("setup_ms", result.setup_ms);
+  json.field("nodes_settled", result.stats.nodes_settled);
   json.field("queue_ms", queue_ms);
   json.field("map_ms", map_ms);
   json.field("result_fp", map_result_fingerprint(result));

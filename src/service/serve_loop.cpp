@@ -142,6 +142,7 @@ std::string MappingServer::process_ticket(const ServeTicket& ticket) {
         ms_between(started, std::chrono::steady_clock::now());
     metrics_.count_completed();
     metrics_.record_trial_cpu_ms(result.trial_cpu_ms);
+    metrics_.record_map_work(result.setup_ms, result.stats.nodes_settled);
     retry_estimator_.observe_request_ms(map_ms);
     return serve_result_json(id, result, queue_ms, map_ms);
   } catch (const CancelledError& e) {
@@ -554,6 +555,8 @@ std::string MappingServer::stats_json(const std::string& id) {
   json.field("p50_trial_cpu_ms", snap.p50_trial_cpu_ms);
   json.field("p99_trial_cpu_ms", snap.p99_trial_cpu_ms);
   json.field("latency_samples", snap.latency_samples);
+  json.field("setup_ms_total", snap.setup_ms_total);
+  json.field("nodes_settled_total", snap.nodes_settled_total);
   json.field("mapper_threads", options_.mapper_threads);
   json.field("engine_workers", engine_.worker_count());
   json.end_object();

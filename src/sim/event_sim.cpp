@@ -440,6 +440,9 @@ ExecutionResult EventSimulator::run(const Placement& initial) const {
 
 ExecutionResult EventSimulator::run(const Placement& initial,
                                     SearchArena<Duration>& arena) const {
+  // The arena's settle counter is monotone across its lifetime (it may be
+  // shared by many runs); attribute only this run's searches to the stats.
+  const std::uint64_t settles_before = arena.settle_count();
   RunState state(fabric_->segment_count(), fabric_->junction_count(), arena);
   initialise(state, initial);
   try_issue(state, 0);
@@ -520,6 +523,8 @@ ExecutionResult EventSimulator::run(const Placement& initial,
   result.latency = result.trace.makespan();
   result.timings = std::move(state.timings);
   result.stats = state.stats;
+  result.stats.nodes_settled =
+      static_cast<long long>(arena.settle_count() - settles_before);
   result.stats.total_routing = 0;
   result.stats.total_congestion = 0;
   for (const InstructionTiming& timing : result.timings) {

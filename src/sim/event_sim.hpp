@@ -83,6 +83,10 @@ struct ExecutionStats {
   Duration total_congestion = 0;
   /// Times an instruction was parked in / re-fetched from the busy queue.
   long long busy_enqueues = 0;
+  /// Dijkstra nodes the run's routing searches settled (the work the
+  /// frontier-queue/arena layer exists to make cheap). Observability only:
+  /// never part of the mapped result, and identical across frontier kinds.
+  long long nodes_settled = 0;
 };
 
 struct ExecutionResult {

@@ -17,6 +17,7 @@
 #include "core/mapper.hpp"
 #include "fabric/quale_fabric.hpp"
 #include "qecc/random_circuit.hpp"
+#include "route/search_arena.hpp"
 #include "service/batch_mapper.hpp"
 
 namespace qspr {
@@ -169,6 +170,49 @@ TEST(FuzzDifferential, BatchServiceMatchesSerialAcrossSeededPrograms) {
     EXPECT_EQ(result.records[c].name, cases[c].program.name());
     expect_identical(serial[c], result.records[c].result,
                      "batch/case" + std::to_string(c));
+  }
+}
+
+TEST(FuzzDifferential, FrontierKindsBitIdenticalAcrossParallelismConfigs) {
+  // The frontier queue (binary heap / bucket queue / 4-ary heap) is a pure
+  // constant-factor knob: forcing each kind across the whole corpus must
+  // reproduce the reference binary-heap result bit for bit — serial and
+  // under combined trial+net parallelism, diagnostics included. This is the
+  // stack-level twin of tests/frontier_queue_test.cpp.
+  struct OverrideGuard {
+    ~OverrideGuard() { clear_frontier_kind_override(); }
+  } guard;
+
+  const std::vector<Fabric> fabrics = make_fabrics();
+  const std::vector<FuzzCase> cases = make_cases();
+
+  std::vector<MapResult> reference;
+  reference.reserve(cases.size());
+  force_frontier_kind(FrontierKind::Binary);
+  for (const FuzzCase& fuzz : cases) {
+    MapperOptions options = fuzz.options;
+    options.jobs = 1;
+    options.route_jobs = 1;
+    reference.push_back(
+        map_program(fuzz.program, fabrics[fuzz.fabric], options));
+  }
+
+  for (const FrontierKind kind :
+       {FrontierKind::Bucket, FrontierKind::Dary4}) {
+    force_frontier_kind(kind);
+    for (std::size_t c = 0; c < cases.size(); ++c) {
+      for (const int jobs : {1, 4}) {
+        MapperOptions options = cases[c].options;
+        options.jobs = jobs;
+        options.route_jobs = jobs;
+        const MapResult result =
+            map_program(cases[c].program, fabrics[cases[c].fabric], options);
+        expect_identical(reference[c], result,
+                         std::string(to_string(kind)) + "/jobs" +
+                             std::to_string(jobs) + "/case" +
+                             std::to_string(c));
+      }
+    }
   }
 }
 

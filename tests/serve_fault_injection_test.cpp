@@ -408,7 +408,10 @@ TEST(ServeFaultInjection, DrainFinishesInFlightWorkAndExitsZero) {
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  client.send_line(map_request("wrapup", 100));
+  // Big enough that the drain cannot go quiescent before the poll loop has
+  // read the late frame off the socket — a warm server finishes a small map
+  // in under a millisecond, which loses that race.
+  client.send_line(map_request("wrapup", 5000));
   // Make sure "wrapup" is admitted before the drain begins.
   client.send_line(R"({"type":"ping","id":"sync"})");
   EXPECT_EQ(client.recv_json().string_or("id", ""), "sync");
@@ -497,19 +500,31 @@ TEST(ServeFaultInjection, HealthProbeAnswersEvenWhenTheQueueIsFull) {
   RawClient client(harness.port());
 
   // Occupy the mapper, wait until the job is genuinely running (not just
-  // queued), then fill the whole queue behind it.
-  client.send_line(map_request("slow0", 400));
-  for (int i = 0; i < 500; ++i) {
+  // queued), then fill the whole queue behind it. A warm server can finish
+  // a whole map faster than one stats round-trip, in which case the map
+  // reply lands mid-poll instead of a stats reply: swallow it and re-arm
+  // with a fresh job until one is caught in flight.
+  int next_job = 0;
+  client.send_line(map_request("slow" + std::to_string(next_job++), 400));
+  bool caught_running = false;
+  for (int i = 0; i < 500 && !caught_running; ++i) {
     client.send_line(R"({"type":"stats","id":"poll"})");
-    const JsonValue* stats = client.recv_json().find("stats");
-    ASSERT_NE(stats, nullptr);
+    JsonValue reply = client.recv_json();
+    while (reply.find("stats") == nullptr) {
+      EXPECT_TRUE(reply.bool_or("ok", false));
+      client.send_line(map_request("slow" + std::to_string(next_job++), 400));
+      reply = client.recv_json();
+    }
+    const JsonValue* stats = reply.find("stats");
     if (stats->number_or("in_flight", 0) == 1 &&
         stats->number_or("queue_depth", -1) == 0) {
-      break;
+      caught_running = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
-  client.send_line(map_request("slow1", 400));
+  ASSERT_TRUE(caught_running);
+  client.send_line(map_request("slow" + std::to_string(next_job++), 400));
   client.send_line(R"({"type":"health","id":"h1"})");
   const JsonValue health = client.recv_json();
   // The health reply arrives FIRST — both maps are still in the system.
