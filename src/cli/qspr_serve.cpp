@@ -50,6 +50,10 @@ int usage(const char* argv0) {
       << "                         work is cancelled (default 2000)\n"
       << "  --deadline-ms <n>      server-side default per-request deadline\n"
       << "                         (0 = none; requests may set their own)\n"
+      << "  --cache-budget-mb <n>  combined LRU memory budget for the\n"
+      << "                         fabric-artifact and result caches, split\n"
+      << "                         evenly (0 = unlimited, the default);\n"
+      << "                         evictions are visible in `stats`\n"
       << "  --fabric <file>        default fabric drawing (default: the\n"
       << "                         paper's 45x85 QUALE fabric); requests may\n"
       << "                         name their own per-record `fabric`\n"
@@ -140,6 +144,10 @@ int main(int argc, char** argv) {
         if (options.default_deadline_ms < 0) {
           throw Error("--deadline-ms must be >= 0");
         }
+      } else if (arg == "--cache-budget-mb") {
+        const long long mb = parse_integer(next());
+        if (mb < 0) throw Error("--cache-budget-mb must be >= 0");
+        options.cache_budget_bytes = static_cast<std::size_t>(mb) << 20;
       } else if (arg == "--fabric") {
         options.default_fabric = next();
         parse_fabric_file(options.default_fabric);  // fail fast, not at req 1

@@ -1,5 +1,7 @@
 #include "core/artifact_cache.hpp"
 
+#include <limits>
+
 namespace qspr {
 
 FabricArtifacts::FabricArtifacts(const Fabric& source)
@@ -30,6 +32,28 @@ std::shared_ptr<const LandmarkTables> FabricArtifacts::landmark_tables(
 LandmarkCacheStats FabricArtifacts::landmark_stats() const {
   const std::lock_guard<std::mutex> lock(landmark_mutex_);
   return landmark_stats_;
+}
+
+std::size_t FabricArtifacts::memory_bytes() const {
+  // Estimate, not an exact accounting: the dominant terms are the CSR
+  // routing graph (node records + edge storage) and the landmark tables
+  // (2 * K doubles per node per table set); container overheads are folded
+  // into per-element constants.
+  std::size_t bytes = sizeof(FabricArtifacts);
+  bytes += static_cast<std::size_t>(fabric.rows()) *
+           static_cast<std::size_t>(fabric.cols());
+  bytes += graph.node_count() * 32 + graph.edge_count() * 8;
+  bytes += traps_near_center.size() * sizeof(TrapId);
+  bytes += trap_port_count.size() * sizeof(int);
+  const std::lock_guard<std::mutex> lock(landmark_mutex_);
+  for (const auto& [key, tables] : landmark_tables_) {
+    if (!tables) continue;
+    bytes += sizeof(LandmarkTables) +
+             tables->landmarks.size() * sizeof(RouteNodeId) +
+             (tables->forward.size() + tables->backward.size()) *
+                 sizeof(double);
+  }
+  return bytes;
 }
 
 std::uint64_t fabric_fingerprint(const Fabric& fabric) {
@@ -65,10 +89,9 @@ std::shared_ptr<const FabricArtifacts> FabricArtifactCache::get(
     const Fabric& fabric) {
   const std::uint64_t key = fabric_fingerprint(fabric);
   const auto find_in_bucket =
-      [&fabric](const std::vector<std::shared_ptr<const FabricArtifacts>>&
-                    bucket) -> std::shared_ptr<const FabricArtifacts> {
-    for (const auto& entry : bucket) {
-      if (same_fabric_layout(entry->fabric, fabric)) return entry;
+      [&fabric](std::vector<Entry>& bucket) -> Entry* {
+    for (Entry& entry : bucket) {
+      if (same_fabric_layout(entry.artifacts->fabric, fabric)) return &entry;
     }
     return nullptr;
   };
@@ -76,9 +99,12 @@ std::shared_ptr<const FabricArtifacts> FabricArtifactCache::get(
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
-      if (auto entry = find_in_bucket(it->second)) {
+      if (Entry* entry = find_in_bucket(it->second)) {
         ++stats_.hits;
-        return entry;
+        entry->last_used = ++tick_;
+        auto artifacts = entry->artifacts;
+        enforce_budget_locked(artifacts.get());
+        return artifacts;
       }
     }
   }
@@ -88,13 +114,58 @@ std::shared_ptr<const FabricArtifacts> FabricArtifactCache::get(
   auto built = std::make_shared<const FabricArtifacts>(fabric);
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& bucket = entries_[key];
-  if (auto entry = find_in_bucket(bucket)) {
+  if (Entry* entry = find_in_bucket(bucket)) {
     ++stats_.hits;
-    return entry;
+    entry->last_used = ++tick_;
+    return entry->artifacts;
   }
   ++stats_.builds;
-  bucket.push_back(std::move(built));
-  return bucket.back();
+  bucket.push_back(Entry{std::move(built), ++tick_});
+  auto artifacts = bucket.back().artifacts;
+  enforce_budget_locked(artifacts.get());
+  return artifacts;
+}
+
+void FabricArtifactCache::set_budget_bytes(std::size_t budget) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget;
+  enforce_budget_locked(nullptr);
+}
+
+void FabricArtifactCache::enforce_budget_locked(const FabricArtifacts* keep) {
+  std::size_t total = 0;
+  for (const auto& [key, bucket] : entries_) {
+    for (const Entry& entry : bucket) {
+      total += entry.artifacts->memory_bytes();
+    }
+  }
+  while (budget_bytes_ > 0 && total > budget_bytes_) {
+    // LRU victim scan: the caches here hold a handful of fabrics, so a
+    // linear scan beats maintaining an intrusive list under the same lock.
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t victim_key = 0;
+    std::size_t victim_pos = 0;
+    bool found = false;
+    for (const auto& [key, bucket] : entries_) {
+      for (std::size_t pos = 0; pos < bucket.size(); ++pos) {
+        if (bucket[pos].artifacts.get() == keep) continue;
+        if (bucket[pos].last_used < oldest) {
+          oldest = bucket[pos].last_used;
+          victim_key = key;
+          victim_pos = pos;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;  // only the protected entry remains
+    auto bucket_it = entries_.find(victim_key);
+    total -= bucket_it->second[victim_pos].artifacts->memory_bytes();
+    bucket_it->second.erase(bucket_it->second.begin() +
+                            static_cast<std::ptrdiff_t>(victim_pos));
+    if (bucket_it->second.empty()) entries_.erase(bucket_it);
+    ++stats_.evictions;
+  }
+  stats_.bytes = total;
 }
 
 FabricArtifactCache::Stats FabricArtifactCache::stats() const {
@@ -107,7 +178,7 @@ LandmarkCacheStats FabricArtifactCache::landmark_stats() const {
   LandmarkCacheStats total;
   for (const auto& [key, bucket] : entries_) {
     for (const auto& entry : bucket) {
-      const LandmarkCacheStats stats = entry->landmark_stats();
+      const LandmarkCacheStats stats = entry.artifacts->landmark_stats();
       total.builds += stats.builds;
       total.hits += stats.hits;
     }

@@ -70,6 +70,13 @@ struct FabricArtifacts {
                                                         int k) const;
   [[nodiscard]] LandmarkCacheStats landmark_stats() const;
 
+  /// Estimated resident bytes of this bundle: fabric grid + routing graph +
+  /// placement tables + every landmark table built so far. Landmark tables
+  /// are built lazily *after* the bundle is cached, so the estimate grows
+  /// over the bundle's lifetime — the budget enforcement recomputes it per
+  /// lookup rather than freezing an insert-time number.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   mutable std::mutex landmark_mutex_;
   mutable std::map<std::tuple<double, double, int>,
@@ -85,17 +92,30 @@ struct FabricArtifacts {
 /// approximates.
 [[nodiscard]] bool same_fabric_layout(const Fabric& a, const Fabric& b);
 
-/// Thread-safe fingerprint-keyed cache of FabricArtifacts.
+/// Thread-safe fingerprint-keyed cache of FabricArtifacts with an optional
+/// LRU memory budget (set_budget_bytes). Eviction drops the cache's
+/// reference only: jobs holding a shared_ptr to an evicted bundle — and the
+/// landmark tables inside it — keep it alive until they finish.
 class FabricArtifactCache {
  public:
   struct Stats {
-    long long builds = 0;  // cache misses: artifact bundles constructed
-    long long hits = 0;    // lookups served from an existing bundle
+    long long builds = 0;     // cache misses: artifact bundles constructed
+    long long hits = 0;       // lookups served from an existing bundle
+    long long evictions = 0;  // bundles dropped by the memory budget
+    /// Estimated resident bytes of the cached bundles at the last lookup.
+    std::size_t bytes = 0;
   };
 
   /// Returns the artifacts for `fabric`, building them on first sight of
   /// this layout.
   std::shared_ptr<const FabricArtifacts> get(const Fabric& fabric);
+
+  /// LRU memory budget in bytes (0 = unlimited, the default). When the
+  /// estimated total exceeds it, least-recently-used bundles are evicted —
+  /// never the one the current lookup is about to return, so a budget
+  /// smaller than one bundle degrades to "cache of one", not thrash-to-
+  /// empty.
+  void set_budget_bytes(std::size_t budget);
 
   [[nodiscard]] Stats stats() const;
   /// Landmark-table build/hit counters aggregated over every cached fabric.
@@ -104,14 +124,23 @@ class FabricArtifactCache {
   void clear();
 
  private:
+  struct Entry {
+    std::shared_ptr<const FabricArtifacts> artifacts;
+    std::uint64_t last_used = 0;  // lookup tick, for LRU ordering
+  };
+
+  /// Evicts LRU entries until the estimated total fits the budget, keeping
+  /// `keep` alive. Caller holds mutex_.
+  void enforce_budget_locked(const FabricArtifacts* keep);
+
   // Fingerprint buckets hold every distinct layout that hashed there; hits
   // verify exact layout equality, so a 64-bit collision costs one extra
   // build instead of silently mapping against the wrong fabric.
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::shared_ptr<const FabricArtifacts>>>
-      entries_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
   Stats stats_;
+  std::size_t budget_bytes_ = 0;
+  std::uint64_t tick_ = 0;
 };
 
 }  // namespace qspr

@@ -37,6 +37,7 @@
 #include "common/executor.hpp"
 #include "core/artifact_cache.hpp"
 #include "core/mapper.hpp"
+#include "core/result_cache.hpp"
 
 namespace qspr {
 
@@ -56,6 +57,19 @@ struct MapJob {
   MapperOptions options;
   std::string name;
   CancelToken cancel;
+
+  /// Optional warm-start prior (incremental remapping): when set,
+  /// negotiation_report is on, and the prior converged, the negotiation
+  /// diagnostic seeds from the prior's routed nets (WarmStartSeed) instead
+  /// of routing cold — unchanged nets keep their paths, only the delta is
+  /// searched. Placement and scheduling are unaffected (same determinism
+  /// contract); a null / non-converged prior is exactly a cold job.
+  std::shared_ptr<const CachedMapResult> warm;
+  /// Insert the finished result (with its negotiated nets/paths) into the
+  /// engine's ResultCache when the negotiation diagnostic ran and
+  /// converged. Off by default so batch flows keep their memory profile;
+  /// the serve session path and the incremental bench opt in.
+  bool cache_result = false;
 };
 
 class MappingEngine {
@@ -73,6 +87,20 @@ class MappingEngine {
   [[nodiscard]] int worker_count() const;
   [[nodiscard]] Executor& executor();
   [[nodiscard]] FabricArtifactCache& artifacts();
+  /// Program-level result cache (exact-resubmission hits + warm priors).
+  /// Lookups are never transparent: map()/finish() only *insert* (and only
+  /// for jobs with cache_result set) — callers decide when a cached result
+  /// may substitute for a fresh mapping via result_key()/results().find().
+  [[nodiscard]] ResultCache& results();
+  /// The cache key of (program, fabric, options) — canonical program
+  /// fingerprint + fabric layout fingerprint + contractual options
+  /// fingerprint.
+  [[nodiscard]] static ResultCache::Key result_key(const Program& program,
+                                                   const Fabric& fabric,
+                                                   const MapperOptions& options);
+  /// One budget for both engine caches (artifacts + results), split evenly.
+  /// 0 = unlimited.
+  void set_cache_budget_bytes(std::size_t budget);
 
   /// A job staged by begin(): setup done, placement trials in flight on the
   /// shared executor. Destroying an unfinished PendingMap drains its trials
@@ -114,6 +142,7 @@ class MappingEngine {
  private:
   Executor executor_;
   FabricArtifactCache cache_;
+  ResultCache result_cache_;
 };
 
 }  // namespace qspr

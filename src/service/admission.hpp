@@ -22,9 +22,28 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "core/result_cache.hpp"
 #include "service/request_codec.hpp"
 
 namespace qspr {
+
+/// Server-scoped incremental-remapping session (the `session_open` API).
+/// Ownership split: the poll thread owns the registry and the `busy` flag
+/// (one in-flight map per session); the circuit text and warm prior are
+/// written only by the mapper thread running the session's admitted map and
+/// read by the poll thread after its completion is delivered — the admission
+/// queue and completion queue mutexes order those hand-offs, so the fields
+/// themselves need no lock.
+struct ServeSession {
+  std::string name;    ///< wire id ("s<N>")
+  std::string fabric;  ///< fabric spec, fixed at session_open
+  /// Full QASM text of the circuit after the last successful map.
+  std::string qasm;
+  /// Last converged mapping: the warm-start seed for the next edit.
+  std::shared_ptr<const CachedMapResult> prior;
+  /// Poll-thread-only: a map for this session is queued or running.
+  bool busy = false;
+};
 
 /// One admitted map request, queued between the connection layer and the
 /// mapper threads. The cancel source is shared with the connection's
@@ -35,6 +54,40 @@ struct ServeTicket {
   ServeRequest request;
   CancelSource cancel;
   std::chrono::steady_clock::time_point admitted_at;
+  /// Session this map runs under (null = stateless request).
+  std::shared_ptr<ServeSession> session;
+};
+
+/// Test hook gating the moment an admitted map starts mapping: when
+/// installed (ServeOptions::map_start_gate), every mapper thread blocks here
+/// — after taking its in-flight slot, before touching the engine — until the
+/// gate opens or the ticket's cancel fires. Production servers never install
+/// one. This is what lets the fault-injection suite hold jobs "running" for
+/// a deterministic window instead of racing wall-clock mapping durations.
+class MapStartGate {
+ public:
+  void open() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Returns when the gate is open or `token` fires (poll-granularity: the
+  /// cancel has no waiter hook, so the wait wakes every millisecond to
+  /// check it).
+  void wait(const CancelToken& token) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!open_ && token.reason() == CancelReason::None) {
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
 };
 
 /// Why try_admit refused a ticket.

@@ -21,15 +21,23 @@ bool FrameReader::feed(std::string_view bytes,
     }
     partial_.append(bytes.substr(at, newline - at));
     at = newline + 1;
+    // Strip the CR *before* the cap check: the cap bounds the logical frame,
+    // and a CRLF client whose frame is exactly max_frame_bytes is within it.
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
     if (partial_.size() > max_frame_bytes_) {
       overflowed_ = true;
       return false;
     }
-    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
     frames.push_back(std::move(partial_));
     partial_.clear();
   }
-  if (partial_.size() > max_frame_bytes_) {
+  // The unterminated tail may still end in a CR whose LF is in the next
+  // read; that CR is framing, not payload, so it doesn't count toward the
+  // cap either.
+  const std::size_t pending =
+      (!partial_.empty() && partial_.back() == '\r') ? partial_.size() - 1
+                                                     : partial_.size();
+  if (pending > max_frame_bytes_) {
     overflowed_ = true;
     return false;
   }
@@ -106,14 +114,41 @@ ServeRequest parse_serve_request(std::string_view frame,
     request.cancel_target = string_field(root, "target", /*required=*/true);
     return request;
   }
+  if (type == "session_open") {
+    request.kind = RequestKind::SessionOpen;
+    if (request.id.empty()) {
+      throw Error("session_open needs a non-empty 'id' to address the reply");
+    }
+    request.fabric = string_field(root, "fabric", /*required=*/false);
+    return request;
+  }
+  if (type == "session_close") {
+    request.kind = RequestKind::SessionClose;
+    if (request.id.empty()) {
+      throw Error("session_close needs a non-empty 'id' to address the reply");
+    }
+    request.session = string_field(root, "session", /*required=*/true);
+    return request;
+  }
   if (type != "map") throw Error("unknown request type: " + type);
 
   request.kind = RequestKind::Map;
   if (request.id.empty()) {
     throw Error("map requests need a non-empty 'id' to address the reply");
   }
-  request.qasm = string_field(root, "qasm", /*required=*/true);
-  if (request.qasm.empty()) throw Error("request field 'qasm' is empty");
+  request.session = string_field(root, "session", /*required=*/false);
+  request.qasm = string_field(root, "qasm", /*required=*/false);
+  request.qasm_append = string_field(root, "qasm_append", /*required=*/false);
+  if (!request.qasm_append.empty() && request.session.empty()) {
+    throw Error("'qasm_append' needs a 'session' to append to");
+  }
+  if (!request.qasm.empty() && !request.qasm_append.empty()) {
+    throw Error("use either 'qasm' (replace) or 'qasm_append' (edit), "
+                "not both");
+  }
+  if (request.qasm.empty() && request.qasm_append.empty()) {
+    throw Error("request field 'qasm' is empty");
+  }
   request.fabric = string_field(root, "fabric", /*required=*/false);
   request.deadline_ms =
       number_field(root, "deadline_ms", 0.0, 0.0, 86'400'000.0);
@@ -130,15 +165,22 @@ ServeRequest parse_serve_request(std::string_view frame,
     if (!kind.has_value()) throw Error("unknown placer: " + placer);
     request.options.placer = *kind;
   }
-  const double m = number_field(root, "m", 0.0, 1.0, 1e6);
+  // "m": 0 means "use the service default", matching the documented
+  // absent-field semantics (the range floor admits it; only m > 0 applies).
+  const double m = number_field(root, "m", 0.0, 0.0, 1e6);
   if (m > 0.0) {
     request.options.mvfb_seeds = static_cast<int>(m);
     request.options.monte_carlo_trials = static_cast<int>(m);
   }
   const JsonValue* seed = root.find("seed");
   if (seed != nullptr) {
-    request.options.rng_seed = static_cast<std::uint64_t>(
-        number_field(root, "seed", 0.0, 0.0, 1e18));
+    // The JSON reader is double-typed: integers above 2^53 would round
+    // silently, so seeds are clamped there instead (documented in
+    // docs/serve.md). Every value up to 2^53 round-trips exactly.
+    constexpr double kSeedMax = 9007199254740992.0;  // 2^53
+    const double value = number_field(root, "seed", 0.0, 0.0, 1e18);
+    request.options.rng_seed =
+        static_cast<std::uint64_t>(value > kSeedMax ? kSeedMax : value);
   }
   // Search-quality knobs of the negotiation diagnostic (absent = the
   // service defaults): ALT landmark count and the bounded-suboptimality
@@ -189,11 +231,13 @@ std::string map_result_fingerprint(const MapResult& result) {
 }
 
 std::string serve_result_json(const std::string& id, const MapResult& result,
-                              double queue_ms, double map_ms) {
+                              double queue_ms, double map_ms,
+                              const std::string& session) {
   JsonWriter json;
   json.begin_object();
   json.field("id", id);
   json.field("ok", true);
+  if (!session.empty()) json.field("session", session);
   json.field("mapper", to_string(result.kind));
   json.field("latency_us", static_cast<long long>(result.latency));
   json.field("ideal_latency_us", static_cast<long long>(result.ideal_latency));
@@ -208,7 +252,21 @@ std::string serve_result_json(const std::string& id, const MapResult& result,
   json.field("nodes_settled", result.stats.nodes_settled);
   json.field("queue_ms", queue_ms);
   json.field("map_ms", map_ms);
+  json.field("warm_hits", result.warm_hits);
+  json.field("nets_rerouted", result.nets_rerouted);
   json.field("result_fp", map_result_fingerprint(result));
+  json.end_object();
+  return json.str();
+}
+
+std::string serve_session_json(const std::string& id,
+                               const std::string& session, bool open) {
+  JsonWriter json;
+  json.begin_object();
+  json.field("id", id);
+  json.field("ok", true);
+  json.field("session", session);
+  json.field("open", open);
   json.end_object();
   return json.str();
 }

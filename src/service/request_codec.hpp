@@ -7,8 +7,13 @@
 //              {"type":"stats","id":"s1"}   {"type":"ping","id":"p1"}
 //              {"type":"cancel","id":"c1","target":"r1"}
 //              {"type":"health","id":"h1"}   (poll-loop-served liveness)
+//              {"type":"session_open","id":"o1","fabric":"paper"}
+//              {"type":"map","id":"r2","session":"s1","qasm":"..."}
+//              {"type":"map","id":"r3","session":"s1","qasm_append":"..."}
+//              {"type":"session_close","id":"c2","session":"s1"}
 //   responses  {"id":"r1","ok":true,"latency_us":...,"result_fp":"..."}
 //              {"id":"r1","ok":false,"code":"overloaded","retry_after_ms":50}
+//              {"id":"o1","ok":true,"session":"s1"}
 //
 // Error codes a client can rely on: bad_request (malformed frame/request —
 // fix before retrying), oversized (frame over the byte cap; the connection
@@ -17,6 +22,8 @@
 // instance), deadline (per-request deadline expired), cancelled
 // (client-initiated), map_failed (the mapping itself failed; the message
 // carries the diagnostic), unknown_request (cancel target not in flight),
+// unknown_session (session id not open on this server — reopen and resubmit),
+// session_busy (one map in flight per session; wait for its reply),
 // shard_down (qspr_shard only: the target shard's breaker is open or the
 // request outlived its re-dispatch budget — back off retry_after_ms).
 //
@@ -66,10 +73,19 @@ class FrameReader {
   bool overflowed_ = false;
 };
 
-enum class RequestKind : std::uint8_t { Map, Stats, Ping, Cancel, Health };
+enum class RequestKind : std::uint8_t {
+  Map,
+  Stats,
+  Ping,
+  Cancel,
+  Health,
+  SessionOpen,
+  SessionClose,
+};
 
-/// One parsed request frame. For Map, exactly one of `qasm` (inline program
-/// text) is required; `fabric` is a server-side fabric spec ("" = server
+/// One parsed request frame. For Map, one of `qasm` (full program text) or —
+/// inside a session — `qasm_append` (gates appended to the session's
+/// circuit) is required; `fabric` is a server-side fabric spec ("" = server
 /// default, "paper" = the built-in 45x85 fabric, anything else a fabric
 /// drawing path) — the same field qspr_batch manifests use per record.
 struct ServeRequest {
@@ -77,6 +93,11 @@ struct ServeRequest {
   std::string id;
   std::string qasm;
   std::string fabric;
+  /// Map/SessionClose: the session this request addresses ("" = stateless).
+  std::string session;
+  /// Map-in-session edit form: QASM instruction lines appended to the
+  /// session's current circuit (mutually exclusive with `qasm`).
+  std::string qasm_append;
   std::string cancel_target;  // Cancel: the id of the in-flight map request
   /// Client-requested deadline for this request, measured from admission;
   /// 0 = server default.
@@ -106,9 +127,17 @@ struct CodecLimits {
 [[nodiscard]] std::string map_result_fingerprint(const MapResult& result);
 
 /// Response builders; each returns one JSON line (no trailing newline).
+/// `session` (when non-empty) echoes the session the mapping ran under; the
+/// result line always carries warm_hits / nets_rerouted (0 / all-nets for a
+/// cold mapping, see MapResult).
 [[nodiscard]] std::string serve_result_json(const std::string& id,
                                             const MapResult& result,
-                                            double queue_ms, double map_ms);
+                                            double queue_ms, double map_ms,
+                                            const std::string& session = "");
+/// session_open / session_close acks.
+[[nodiscard]] std::string serve_session_json(const std::string& id,
+                                             const std::string& session,
+                                             bool open);
 [[nodiscard]] std::string serve_error_json(const std::string& id,
                                            std::string_view code,
                                            std::string_view message,

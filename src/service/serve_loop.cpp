@@ -57,6 +57,7 @@ MappingServer::MappingServer(ServeOptions options)
   require(options_.mapper_threads >= 1, "qspr_serve needs >= 1 mapper thread");
   require(options_.max_connections >= 1, "qspr_serve needs >= 1 connection");
   codec_limits_.max_frame_bytes = options_.max_frame_bytes;
+  engine_.set_cache_budget_bytes(options_.cache_budget_bytes);
 }
 
 MappingServer::~MappingServer() {
@@ -89,6 +90,27 @@ void MappingServer::request_drain() {
   wake_.notify();
 }
 
+// Observes a drain request (SIGTERM or API): stop accepting, stop
+// admitting, arm the drain deadline. Checked at the top of every poll
+// iteration, immediately after poll() returns, AND before every frame is
+// handled. The per-frame check matters: read_from() drains a socket until
+// WouldBlock and replies flush opportunistically, so a fast client can
+// complete a full round-trip and send another frame inside one read loop —
+// that frame must still see the drain a supervisor requested in between,
+// or "request_drain() happens-before anything a client sends after calling
+// it" silently stops being true.
+void MappingServer::observe_drain() {
+  if (!draining_ && drain_requested_.load(std::memory_order_relaxed)) {
+    draining_ = true;
+    listen_.close();
+    queue_.begin_drain();
+    drain_deadline_ =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<long long>(options_.drain_deadline_ms * 1000.0));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Mapper threads: ticket -> reply line.
 
@@ -99,21 +121,25 @@ void MappingServer::mapper_loop() {
     metrics_.leave_flight();
     {
       const std::lock_guard<std::mutex> lock(completions_mutex_);
-      completions_.push_back(
-          {ticket->connection, ticket->request.id, std::move(line)});
+      completions_.push_back({ticket->connection, ticket->request.id,
+                              std::move(line), ticket->session});
     }
     wake_.notify();
   }
 }
 
-std::string MappingServer::process_ticket(const ServeTicket& ticket) {
+std::string MappingServer::process_ticket(ServeTicket& ticket) {
   const auto started = std::chrono::steady_clock::now();
   const double queue_ms = ms_between(ticket.admitted_at, started);
   const std::string& id = ticket.request.id;
   const CancelToken token = ticket.cancel.token();
 
-  // A ticket cancelled or expired while queued releases its slot without
-  // ever touching the engine.
+  // Test hook: hold the job at "running, not yet mapping" until the gate
+  // opens or the ticket is cancelled. No-op in production (gate unset).
+  if (options_.map_start_gate) options_.map_start_gate->wait(token);
+
+  // A ticket cancelled or expired while queued (or while gated) releases
+  // its slot without ever touching the engine.
   switch (token.reason()) {
     case CancelReason::Cancelled:
       metrics_.count_cancelled();
@@ -131,20 +157,57 @@ std::string MappingServer::process_ticket(const ServeTicket& ticket) {
     const Program program = parse_qasm(ticket.request.qasm, id);
     const std::shared_ptr<const Fabric> fabric =
         fabrics_.get(ticket.request.fabric);
+    ServeSession* session = ticket.session.get();
+    const std::string session_name = session != nullptr ? session->name : "";
+
+    // Session fast path: an exact resubmission (same circuit, fabric,
+    // options) is served straight from the program-level result cache —
+    // no placement, no routing. Stateless maps never consult the cache, so
+    // their behaviour (and memory profile) is unchanged.
+    if (session != nullptr) {
+      const ResultCache::Key key =
+          MappingEngine::result_key(program, *fabric, ticket.request.options);
+      if (std::shared_ptr<const CachedMapResult> cached =
+              engine_.results().find(key)) {
+        MapResult result = cached->result;
+        result.warm_hits = static_cast<int>(cached->nets.size());
+        result.nets_rerouted = 0;
+        session->qasm = ticket.request.qasm;
+        session->prior = cached;
+        const double map_ms =
+            ms_between(started, std::chrono::steady_clock::now());
+        metrics_.count_completed();
+        retry_estimator_.observe_request_ms(map_ms);
+        return serve_result_json(id, result, queue_ms, map_ms, session_name);
+      }
+    }
+
     MapJob job;
     job.program = &program;
     job.fabric = fabric.get();
     job.options = ticket.request.options;
     job.name = id;
     job.cancel = token;
+    if (session != nullptr) {
+      job.warm = session->prior;
+      job.cache_result = true;
+    }
     MapResult result = engine_.finish(engine_.begin(job));
+    if (session != nullptr) {
+      // Remember the circuit and (when the negotiation converged) the
+      // cached prior the next edit warms from. finish() inserted it under
+      // the same key this thread computes.
+      session->qasm = ticket.request.qasm;
+      session->prior = engine_.results().find(
+          MappingEngine::result_key(program, *fabric, job.options));
+    }
     const double map_ms =
         ms_between(started, std::chrono::steady_clock::now());
     metrics_.count_completed();
     metrics_.record_trial_cpu_ms(result.trial_cpu_ms);
     metrics_.record_map_work(result.setup_ms, result.stats.nodes_settled);
     retry_estimator_.observe_request_ms(map_ms);
-    return serve_result_json(id, result, queue_ms, map_ms);
+    return serve_result_json(id, result, queue_ms, map_ms, session_name);
   } catch (const CancelledError& e) {
     // Cancelled mid-mapping: the thread was still occupied for that long,
     // so the sample belongs in the drain-rate estimate.
@@ -176,24 +239,6 @@ int MappingServer::serve() {
   std::vector<PollEntry> entries;
   std::vector<std::uint64_t> entry_conn;
   std::vector<std::uint64_t> scratch_ids;
-
-  // Observes a drain request (SIGTERM or API): stop accepting, stop
-  // admitting, arm the drain deadline. Checked at the top of every
-  // iteration AND immediately after poll() returns, so a request frame that
-  // arrives in the same wakeup as the drain signal is already refused —
-  // the store in request_drain() happens-before anything a client sends
-  // after calling it.
-  const auto observe_drain = [&] {
-    if (!draining_ && drain_requested_.load(std::memory_order_relaxed)) {
-      draining_ = true;
-      listen_.close();
-      queue_.begin_drain();
-      drain_deadline_ =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(
-              static_cast<long long>(options_.drain_deadline_ms * 1000.0));
-    }
-  };
 
   // Reap: broken connections immediately; for-cause closes and orderly
   // EOFs once their replies are flushed (EOF additionally waits for
@@ -363,6 +408,7 @@ void MappingServer::read_from(Connection& conn) {
 }
 
 void MappingServer::handle_frame(Connection& conn, std::string_view frame) {
+  observe_drain();
   ServeRequest request;
   try {
     request = parse_serve_request(frame, codec_limits_,
@@ -401,10 +447,60 @@ void MappingServer::handle_frame(Connection& conn, std::string_view frame) {
                                           found));
       return;
     }
+    case RequestKind::SessionOpen:
+      handle_session_open(conn, request);
+      return;
+    case RequestKind::SessionClose:
+      handle_session_close(conn, request);
+      return;
     case RequestKind::Map:
       handle_map(conn, std::move(request));
       return;
   }
+}
+
+void MappingServer::handle_session_open(Connection& conn,
+                                        const ServeRequest& request) {
+  // Poll-thread-served, no queue slot: opening a session allocates a few
+  // hundred bytes of registry state, not mapping work. A draining daemon
+  // refuses — its sessions die with the process anyway.
+  if (draining_) {
+    enqueue_reply(conn, serve_error_json(request.id, "draining",
+                                         "daemon is draining; open the "
+                                         "session against a healthy instance"));
+    return;
+  }
+  auto session = std::make_shared<ServeSession>();
+  // Sharded workers prefix the shard index ("s2.7") so session names are
+  // unique across a qspr_shard fleet — the supervisor keys its
+  // session->shard affinity on the name and forwards frames verbatim, so
+  // two workers minting the same name would collide there.
+  session->name = options_.shard_id >= 0
+                      ? "s" + std::to_string(options_.shard_id) + "." +
+                            std::to_string(next_session_id_++)
+                      : "s" + std::to_string(next_session_id_++);
+  session->fabric =
+      request.fabric.empty() ? options_.default_fabric : request.fabric;
+  sessions_.emplace(session->name, session);
+  enqueue_reply(conn, serve_session_json(request.id, session->name,
+                                         /*open=*/true));
+}
+
+void MappingServer::handle_session_close(Connection& conn,
+                                         const ServeRequest& request) {
+  const auto it = sessions_.find(request.session);
+  if (it == sessions_.end()) {
+    enqueue_reply(conn, serve_error_json(request.id, "unknown_session",
+                                         "session not open on this server: " +
+                                             request.session));
+    return;
+  }
+  // Closing while a map is in flight is fine: the mapper holds its own
+  // shared_ptr, finishes against the detached state, and the reply still
+  // reaches the client; only the registry entry goes away.
+  sessions_.erase(it);
+  enqueue_reply(conn, serve_session_json(request.id, request.session,
+                                         /*open=*/false));
 }
 
 void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
@@ -413,6 +509,47 @@ void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
     enqueue_reply(conn, serve_error_json(request.id, "bad_request",
                                          "duplicate in-flight request id"));
     return;
+  }
+
+  // Session resolution happens here on the poll thread, where the registry
+  // and busy flags live. The effective circuit text is assembled up front so
+  // the mapper thread sees a self-contained ticket.
+  std::shared_ptr<ServeSession> session;
+  if (!request.session.empty()) {
+    const auto it = sessions_.find(request.session);
+    if (it == sessions_.end()) {
+      metrics_.count_bad_request();
+      enqueue_reply(conn,
+                    serve_error_json(request.id, "unknown_session",
+                                     "session not open on this server: " +
+                                         request.session));
+      return;
+    }
+    session = it->second;
+    if (session->busy) {
+      metrics_.count_bad_request();
+      enqueue_reply(conn, serve_error_json(request.id, "session_busy",
+                                           "one map in flight per session; "
+                                           "wait for its reply"));
+      return;
+    }
+    if (!request.qasm_append.empty()) {
+      if (session->qasm.empty()) {
+        metrics_.count_bad_request();
+        enqueue_reply(conn, serve_error_json(
+                                request.id, "bad_request",
+                                "'qasm_append' needs a mapped circuit in the "
+                                "session; submit 'qasm' first"));
+        return;
+      }
+      request.qasm = session->qasm + "\n" + request.qasm_append;
+      request.qasm_append.clear();
+    }
+    // The session pins the fabric; per-request fabric is ignored inside it.
+    request.fabric = session->fabric;
+    // Warm-start seeding and the result cache live behind the negotiation
+    // diagnostic, so session maps always run it.
+    request.options.negotiation_report = true;
   }
   if (request.fabric.empty()) request.fabric = options_.default_fabric;
 
@@ -424,6 +561,7 @@ void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
                                  : options_.default_deadline_ms;
   ticket->cancel.set_deadline_after_ms(deadline_ms);
   ticket->request = std::move(request);
+  ticket->session = session;
 
   AdmitError why = AdmitError::QueueFull;
   if (!queue_.try_admit(ticket, why)) {
@@ -439,6 +577,7 @@ void MappingServer::handle_map(Connection& conn, ServeRequest&& request) {
     }
     return;
   }
+  if (session) session->busy = true;
   conn.pending.emplace(ticket->request.id, std::move(ticket));
   metrics_.count_accepted();
 }
@@ -486,6 +625,9 @@ void MappingServer::deliver_completions() {
     ready.swap(completions_);
   }
   for (Completion& done : ready) {
+    // The session frees up regardless of whether the client survived to
+    // read the reply — sessions are server-scoped, connections are not.
+    if (done.session) done.session->busy = false;
     const auto it = connections_.find(done.connection);
     if (it == connections_.end()) continue;  // client gone: reply dropped
     it->second->pending.erase(done.request_id);
@@ -547,6 +689,21 @@ std::string MappingServer::stats_json(const std::string& id) {
              lookups > 0 ? static_cast<double>(cache.hits) /
                                static_cast<double>(lookups)
                          : 0.0);
+  json.field("artifact_evictions", cache.evictions);
+  json.field("artifact_bytes", static_cast<long long>(cache.bytes));
+  // Program-level result cache (warm-start sessions): hit/eviction and
+  // resident-byte counters, so an operator can see both halves of the
+  // --cache-budget-mb budget working.
+  const ResultCache::Stats results = engine_.results().stats();
+  json.field("result_hits", results.hits);
+  json.field("result_misses", results.misses);
+  json.field("result_insertions", results.insertions);
+  json.field("result_evictions", results.evictions);
+  json.field("result_bytes", static_cast<long long>(results.bytes));
+  json.field("result_entries", static_cast<long long>(results.entries));
+  json.field("cache_budget_bytes",
+             static_cast<long long>(options_.cache_budget_bytes));
+  json.field("open_sessions", static_cast<long long>(sessions_.size()));
   // ALT landmark tables built/reused across the cached fabrics (reporting
   // requests trigger the build; builds stay at one per distinct fabric).
   const LandmarkCacheStats landmarks = engine_.artifacts().landmark_stats();

@@ -72,6 +72,13 @@ struct ServeOptions {
   /// Fabric spec used when a request names none ("" = paper fabric).
   std::string default_fabric;
   MapperOptions default_options;
+  /// Combined memory budget for the engine's fabric-artifact and
+  /// program-result caches (split evenly; 0 = unlimited). Surfaced on the
+  /// qspr_serve CLI as --cache-budget-mb; evictions show up in `stats`.
+  std::size_t cache_budget_bytes = 0;
+  /// Test hook: when set, admitted maps block at the gate before mapping
+  /// (see MapStartGate). Never set in production.
+  std::shared_ptr<MapStartGate> map_start_gate;
 };
 
 class MappingServer {
@@ -105,15 +112,21 @@ class MappingServer {
     std::uint64_t connection = 0;
     std::string request_id;
     std::string line;
+    /// Session whose map this completes (busy flag cleared on delivery even
+    /// when the client connection is already gone).
+    std::shared_ptr<ServeSession> session;
   };
 
   void mapper_loop();
-  std::string process_ticket(const ServeTicket& ticket);
+  std::string process_ticket(ServeTicket& ticket);
 
   void accept_clients();
+  void observe_drain();
   void read_from(Connection& conn);
   void handle_frame(Connection& conn, std::string_view frame);
   void handle_map(Connection& conn, ServeRequest&& request);
+  void handle_session_open(Connection& conn, const ServeRequest& request);
+  void handle_session_close(Connection& conn, const ServeRequest& request);
   void enqueue_reply(Connection& conn, std::string line);
   void flush_outbox(Connection& conn);
   void deliver_completions();
@@ -146,6 +159,12 @@ class MappingServer {
 
   std::uint64_t next_connection_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  // Sessions are server-scoped (they survive their opener's disconnect and
+  // die with the process — a drain drops them; see docs/serve.md) and
+  // poll-thread-owned like the connections.
+  std::uint64_t next_session_id_ = 1;
+  std::unordered_map<std::string, std::shared_ptr<ServeSession>> sessions_;
 };
 
 }  // namespace qspr

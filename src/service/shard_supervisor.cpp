@@ -27,9 +27,15 @@ std::chrono::steady_clock::time_point after_ms(
   return from + std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
 }
 
-/// Pulls the "id" (and optionally "code") out of one reply line. Returns
-/// false when the line is not a JSON object — the caller drops it.
-bool reply_id(const std::string& line, std::string& id) {
+/// Pulls the "id" out of one reply line, plus the optional "session" the
+/// worker names (session_open acks and session-map results both carry it;
+/// a close ack additionally carries open:false, reported via
+/// `session_closed`). Returns false when the line is not a JSON object —
+/// the caller drops it.
+bool reply_id(const std::string& line, std::string& id, std::string& session,
+              bool& session_closed) {
+  session.clear();
+  session_closed = false;
   try {
     const JsonValue root = parse_json(line);
     if (!root.is_object()) return false;
@@ -38,6 +44,14 @@ bool reply_id(const std::string& line, std::string& id) {
       id = value->as_string();
     } else {
       id.clear();
+    }
+    const JsonValue* named = root.find("session");
+    if (named != nullptr && named->kind() == JsonValue::Kind::String) {
+      session = named->as_string();
+      const JsonValue* open = root.find("open");
+      session_closed = open != nullptr &&
+                       open->kind() == JsonValue::Kind::Bool &&
+                       !open->as_bool();
     }
     return true;
   } catch (const std::exception&) {
@@ -359,6 +373,7 @@ void ShardSupervisor::shard_failed(int index, const char* why) {
   const bool was_up = shard.phase == ShardPhase::Up;
   shard.phase = ShardPhase::Down;
   shard.reset_control();
+  on_shard_down(index);
   // Whichever detector notices a death first — this one (lane EOF, probe
   // timeout) or the waitpid sweep — applies the one breaker action; the
   // other sees phase Down and only reaps.
@@ -390,6 +405,7 @@ void ShardSupervisor::reap_children() {
     const bool was_up = shard.phase == ShardPhase::Up;
     shard.reset_control();
     shard.phase = ShardPhase::Down;
+    on_shard_down(shard.index);
     const auto now = std::chrono::steady_clock::now();
     if (was_up) {
       // Unexpected death of a serving worker: crash. Client lanes to it
@@ -659,7 +675,11 @@ void ShardSupervisor::handle_client_frame(Client& client, std::string frame) {
       flush_lane(lane_it->second);
       return;
     }
+    case RequestKind::SessionOpen:
+    case RequestKind::SessionClose:
     case RequestKind::Map:
+      // All three take the accepted/pending path and are owed exactly one
+      // reply; route_map picks the shard (fabric hash vs session affinity).
       route_map(client, request, std::move(frame));
       return;
   }
@@ -680,7 +700,25 @@ void ShardSupervisor::route_map(Client& client, const ServeRequest& request,
                                           "against a healthy instance"));
     return;
   }
-  const int target = shard_for_fabric(request.fabric, options_.shard_count);
+  int target;
+  if (!request.session.empty()) {
+    // Session frames follow the session, not the fabric: the warm prior
+    // lives in exactly one worker's ResultCache. No affinity entry means
+    // the session never opened here or died with its shard — tell the
+    // client to reopen rather than guessing a shard.
+    const auto it = session_shards_.find(request.session);
+    if (it == session_shards_.end()) {
+      enqueue_client_reply(
+          client,
+          serve_error_json(request.id, "unknown_session",
+                           "session not open on this fleet (its shard may "
+                           "have restarted; reopen): " + request.session));
+      return;
+    }
+    target = it->second;
+  } else {
+    target = shard_for_fabric(request.fabric, options_.shard_count);
+  }
   if (shards_[static_cast<std::size_t>(target)]->phase != ShardPhase::Up) {
     // Explicit shedding, no silent rerouting: affinity-preserving clients
     // retry after the hint and land back on their warm shard.
@@ -689,6 +727,21 @@ void ShardSupervisor::route_map(Client& client, const ServeRequest& request,
   }
   count(&SupervisorMetrics::accepted);
   dispatch(client, request.id, std::move(frame), target, /*attempts=*/0);
+}
+
+void ShardSupervisor::on_shard_down(int index) {
+  // Sessions live in the worker process; its death loses them. Dropping
+  // the affinity entries now is what turns the next frame for such a
+  // session into an explicit unknown_session instead of silently aliasing
+  // a fresh session minted by the replacement worker (which restarts its
+  // session counter).
+  for (auto it = session_shards_.begin(); it != session_shards_.end();) {
+    if (it->second == index) {
+      it = session_shards_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ShardSupervisor::shed(Client& client, const std::string& request_id,
@@ -790,7 +843,11 @@ void ShardSupervisor::read_lane(Client& client, int shard_index, Lane& lane) {
     }
     for (const std::string& frame : frames) {
       std::string id;
-      if (!reply_id(frame, id)) continue;  // not JSON: drop, never forward
+      std::string session;
+      bool session_closed = false;
+      if (!reply_id(frame, id, session, session_closed)) {
+        continue;  // not JSON: drop, never forward
+      }
       const auto pending_it = client.pending.find(id);
       if (pending_it != client.pending.end() &&
           pending_it->second.shard == shard_index) {
@@ -799,6 +856,16 @@ void ShardSupervisor::read_lane(Client& client, int shard_index, Lane& lane) {
         // requests that were truly never answered.
         client.pending.erase(pending_it);
         count(&SupervisorMetrics::answered);
+      }
+      // Affinity follows what the worker reports: an open ack or a
+      // session-map result pins the session to this shard (idempotent on
+      // repeats), a close ack (open:false) releases it.
+      if (!session.empty()) {
+        if (session_closed) {
+          session_shards_.erase(session);
+        } else {
+          session_shards_[session] = shard_index;
+        }
       }
       enqueue_client_reply(client, frame);
     }
@@ -1310,6 +1377,7 @@ std::string ShardSupervisor::stats_json(const std::string& id) const {
   json.field("uptime_ms",
              ms_between(started_at_, std::chrono::steady_clock::now()));
   json.field("connections", static_cast<long long>(clients_.size()));
+  json.field("sessions", static_cast<long long>(session_shards_.size()));
   json.field("accepted", snap.accepted);
   json.field("answered", snap.answered);
   json.field("redispatches", snap.redispatches);

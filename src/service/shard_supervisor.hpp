@@ -33,6 +33,16 @@
 // the worker whose artifact/landmark caches are already warm. The hash is
 // a pure function — routing is stable across worker restarts.
 //
+// Sessions: a `session_open` routes by fabric like a map; the worker's
+// reply names the session ("s<shard>.<n>", fleet-unique) and the
+// supervisor records session -> shard affinity from it. Frames carrying a
+// `session` then route by that affinity, byte-verbatim like everything
+// else — the session's warm prior lives in that worker's ResultCache.
+// Session state dies with its worker: a crash drops the affinity entries,
+// and a session frame that can no longer reach its shard (or was
+// re-dispatched to a sibling after a death) gets an explicit
+// unknown_session reply — the client reopens and resubmits cold.
+//
 // Exactly-once: every accepted map frame produces exactly one reply line to
 // its client — the forwarded worker reply, or one supervisor-built
 // shard_down / draining / cancelled error. The pending registry is erased
@@ -226,7 +236,9 @@ class ShardSupervisor {
   void flush_control(int index);
   void read_control(int index);
 
-  // Client plumbing.
+  // Client plumbing. route_map also carries session_open / session_close
+  // frames — same accept/shed/dispatch path, only the target shard differs
+  // (fabric hash for stateless + open, recorded affinity for the rest).
   void accept_clients();
   void read_client(Client& client);
   void handle_client_frame(Client& client, std::string frame);
@@ -250,6 +262,8 @@ class ShardSupervisor {
                           std::string frame, int attempts);
   void flush_parked(int up_shard);
   void shed(Client& client, const std::string& request_id, int shard_index);
+  /// Drops supervisor state that died with the worker on shard `index` —
+  /// today that is its session-affinity entries.
   void on_shard_down(int index);
 
   // Drain.
@@ -273,6 +287,12 @@ class ShardSupervisor {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::deque<ParkedFrame> parked_;
+
+  // session name -> shard index, learned from worker replies that name a
+  // session and released on close replies (open:false) and shard deaths
+  // (on_shard_down — mandatory, not hygiene: a replacement worker restarts
+  // its session counter, so a stale entry could alias a new session).
+  std::unordered_map<std::string, int> session_shards_;
 
   std::atomic<bool> drain_requested_{false};
   bool draining_ = false;

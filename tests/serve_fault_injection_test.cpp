@@ -13,16 +13,20 @@
 //   3. a served MapResult is bit-identical to a direct map_program run
 //      (compared via the process-stable result fingerprint).
 //
-// Determinism notes: queue-order tests pin mapper_threads = 1 so a slow
+// Determinism notes: queue-order tests pin mapper_threads = 1 so a gated
 // front job strictly serialises what sits behind it — cancellation and
-// deadline expiry are then observed while *queued*, which is exact, rather
-// than racing a running map.
+// deadline expiry are then observed while *queued*, which is exact. The
+// front job is held with ServeOptions::map_start_gate (it takes its
+// in-flight slot, then blocks before touching the engine) instead of a
+// large Monte-Carlo trial count, so no assertion races how fast a warm
+// server finishes real work.
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
 #include <sys/time.h>
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -298,13 +302,18 @@ TEST(ServeFaultInjection, ShutdownWriteClientStillGetsItsReply) {
 }
 
 TEST(ServeFaultInjection, CancelWhileQueuedIsExactAndReleasesTheSlot) {
+  // The gate holds "blocker" at running-but-not-mapping, so "victim" is
+  // cancelled while *queued* by construction — no wall-clock race against
+  // how fast a warm server finishes the front job.
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;  // serialise: "blocker" runs, "victim" queues
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  client.send_line(map_request("blocker", 400));
-  client.send_line(map_request("victim", 400));
+  client.send_line(map_request("blocker", 4));
+  client.send_line(map_request("victim", 4));
   client.send_line(R"({"type":"cancel","id":"c1","target":"victim"})");
 
   // Replies: the cancel ack arrives first (poll thread), then the blocker's
@@ -312,6 +321,7 @@ TEST(ServeFaultInjection, CancelWhileQueuedIsExactAndReleasesTheSlot) {
   const JsonValue ack = client.recv_json();
   EXPECT_EQ(ack.string_or("id", ""), "c1");
   EXPECT_TRUE(ack.bool_or("ok", false));
+  gate->open();
 
   bool saw_blocker_ok = false;
   bool saw_victim_cancelled = false;
@@ -335,13 +345,20 @@ TEST(ServeFaultInjection, CancelWhileQueuedIsExactAndReleasesTheSlot) {
 }
 
 TEST(ServeFaultInjection, DeadlineExpiresWhileQueuedBehindSlowJob) {
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  client.send_line(map_request("slow", 400));
-  client.send_line(map_request("hasty", 400, /*deadline_ms=*/1.0));
+  client.send_line(map_request("slow", 4));
+  client.send_line(map_request("hasty", 4, /*deadline_ms=*/1.0));
+  // "hasty" sits queued behind the gated "slow"; holding the gate past its
+  // 1 ms deadline guarantees it expires while queued instead of racing the
+  // front job's wall-clock duration.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate->open();
 
   bool saw_slow_ok = false;
   bool saw_hasty_deadline = false;
@@ -361,38 +378,52 @@ TEST(ServeFaultInjection, DeadlineExpiresWhileQueuedBehindSlowJob) {
 }
 
 TEST(ServeFaultInjection, OverloadFloodShedsExplicitlyAndRecovers) {
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;
   options.max_queue = 2;
   options.retry_after_ms = 25;
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  // One slow job occupies the mapper; a burst behind it overflows the
-  // 2-slot queue. Every request gets exactly one reply either way.
-  client.send_line(map_request("flood0", 400));
+  // The gated front job occupies the mapper; a burst behind it overflows
+  // the 2-slot queue. With the mapper pinned, the arithmetic is exact:
+  // flood0 runs, two queue, the rest shed. Every request gets exactly one
+  // reply either way.
+  client.send_line(map_request("flood0", 4));
+  // Wait until flood0 holds the in-flight slot (not a queue slot), so the
+  // burst sees the whole queue.
+  for (int i = 0; i < 1000; ++i) {
+    client.send_line(R"({"type":"stats","id":"poll"})");
+    const JsonValue stats_reply = client.recv_json();
+    const JsonValue* stats = stats_reply.find("stats");
+    ASSERT_NE(stats, nullptr);
+    if (stats->number_or("in_flight", 0) == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   const int kBurst = 8;
   for (int i = 1; i <= kBurst; ++i) {
     client.send_line(map_request("flood" + std::to_string(i), 4));
   }
-  int ok = 0;
-  int shed = 0;
-  for (int i = 0; i <= kBurst; ++i) {
+  // With flood0 pinned in flight, exactly two of the burst occupy the queue
+  // and the remaining six shed synchronously from the poll thread. The shed
+  // replies are therefore the first six replies — nothing else can arrive
+  // while the gate is closed.
+  for (int i = 0; i < kBurst - 2; ++i) {
     const JsonValue reply = client.recv_json();
-    if (reply.bool_or("ok", false)) {
-      ++ok;
-    } else {
-      EXPECT_EQ(reply.string_or("code", ""), "overloaded");
-      // The hint is adaptive (EWMA x backlog) but always inside the
-      // configured clamp band.
-      EXPECT_GE(reply.number_or("retry_after_ms", -1), 25);
-      EXPECT_LE(reply.number_or("retry_after_ms", -1), 2000);
-      ++shed;
-    }
+    EXPECT_FALSE(reply.bool_or("ok", true));
+    EXPECT_EQ(reply.string_or("code", ""), "overloaded");
+    // The hint is adaptive (EWMA x backlog) but always inside the
+    // configured clamp band.
+    EXPECT_GE(reply.number_or("retry_after_ms", -1), 25);
+    EXPECT_LE(reply.number_or("retry_after_ms", -1), 2000);
   }
-  EXPECT_EQ(ok + shed, kBurst + 1);
-  EXPECT_GE(shed, 1);           // the burst overflowed
-  EXPECT_GE(ok, 2);             // the slow job + at least one queued job ran
+  gate->open();
+  // flood0 plus exactly the two queued jobs complete.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(client.recv_json().bool_or("ok", false));
+  }
   // Shed clients that retry after the backlog clears are served.
   client.send_line(map_request("retry", 4));
   EXPECT_TRUE(client.recv_json().bool_or("ok", false));
@@ -402,16 +433,19 @@ TEST(ServeFaultInjection, OverloadFloodShedsExplicitlyAndRecovers) {
 }
 
 TEST(ServeFaultInjection, DrainFinishesInFlightWorkAndExitsZero) {
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;
   options.drain_deadline_ms = 60'000;  // generous: drain must *finish* work
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  // Big enough that the drain cannot go quiescent before the poll loop has
-  // read the late frame off the socket — a warm server finishes a small map
-  // in under a millisecond, which loses that race.
-  client.send_line(map_request("wrapup", 5000));
+  // The gate pins "wrapup" in flight so the drain cannot go quiescent
+  // before the poll loop has read the late frame off the socket — a warm
+  // server finishes a small map in under a millisecond, which loses that
+  // race without the gate.
+  client.send_line(map_request("wrapup", 4));
   // Make sure "wrapup" is admitted before the drain begins.
   client.send_line(R"({"type":"ping","id":"sync"})");
   EXPECT_EQ(client.recv_json().string_or("id", ""), "sync");
@@ -419,6 +453,7 @@ TEST(ServeFaultInjection, DrainFinishesInFlightWorkAndExitsZero) {
 
   // New work is refused while draining, explicitly.
   client.send_line(map_request("late", 4));
+  gate->open();  // now let the in-flight job wrap up
   bool saw_wrapup_ok = false;
   bool saw_late_draining = false;
   for (int i = 0; i < 2; ++i) {
@@ -435,13 +470,17 @@ TEST(ServeFaultInjection, DrainFinishesInFlightWorkAndExitsZero) {
 }
 
 TEST(ServeFaultInjection, DrainDeadlineCancelsStragglersAndStillExitsZero) {
+  // The gate is never opened: the straggler provably cannot finish, and the
+  // drain deadline must cancel it through the gate's cancel-aware wait.
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;
-  options.drain_deadline_ms = 20;  // tight: the big job cannot finish
+  options.drain_deadline_ms = 20;  // tight: the held job cannot finish
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  client.send_line(map_request("straggler", 100000));
+  client.send_line(map_request("straggler", 4));
   // Make sure the job is actually admitted before the drain begins.
   client.send_line(R"({"type":"ping","id":"sync"})");
   EXPECT_EQ(client.recv_json().string_or("id", ""), "sync");
@@ -492,39 +531,33 @@ TEST(ServeFaultInjection, PerRequestFabricSelectsAndCachesServerSide) {
 TEST(ServeFaultInjection, HealthProbeAnswersEvenWhenTheQueueIsFull) {
   // The probe's whole point: it is served on the poll thread, never
   // queued, so it stays truthful exactly when admission is wedged shut.
+  auto gate = std::make_shared<MapStartGate>();
   ServeOptions options;
   options.mapper_threads = 1;
   options.max_queue = 1;
   options.shard_id = 3;
+  options.map_start_gate = gate;
   ServeHarness harness(options);
   RawClient client(harness.port());
 
-  // Occupy the mapper, wait until the job is genuinely running (not just
-  // queued), then fill the whole queue behind it. A warm server can finish
-  // a whole map faster than one stats round-trip, in which case the map
-  // reply lands mid-poll instead of a stats reply: swallow it and re-arm
-  // with a fresh job until one is caught in flight.
-  int next_job = 0;
-  client.send_line(map_request("slow" + std::to_string(next_job++), 400));
+  // Occupy the mapper (the gate holds the job in flight — it cannot finish
+  // out from under the probe), then fill the whole queue behind it.
+  client.send_line(map_request("slow0", 4));
   bool caught_running = false;
-  for (int i = 0; i < 500 && !caught_running; ++i) {
+  for (int i = 0; i < 1000 && !caught_running; ++i) {
     client.send_line(R"({"type":"stats","id":"poll"})");
-    JsonValue reply = client.recv_json();
-    while (reply.find("stats") == nullptr) {
-      EXPECT_TRUE(reply.bool_or("ok", false));
-      client.send_line(map_request("slow" + std::to_string(next_job++), 400));
-      reply = client.recv_json();
-    }
+    const JsonValue reply = client.recv_json();
     const JsonValue* stats = reply.find("stats");
+    ASSERT_NE(stats, nullptr);
     if (stats->number_or("in_flight", 0) == 1 &&
         stats->number_or("queue_depth", -1) == 0) {
       caught_running = true;
     } else {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
   ASSERT_TRUE(caught_running);
-  client.send_line(map_request("slow" + std::to_string(next_job++), 400));
+  client.send_line(map_request("slow1", 4));
   client.send_line(R"({"type":"health","id":"h1"})");
   const JsonValue health = client.recv_json();
   // The health reply arrives FIRST — both maps are still in the system.
@@ -533,10 +566,11 @@ TEST(ServeFaultInjection, HealthProbeAnswersEvenWhenTheQueueIsFull) {
   EXPECT_EQ(health.string_or("health", ""), "ok");
   EXPECT_EQ(health.number_or("shard_id", -1), 3);
   EXPECT_GE(health.number_or("uptime_ms", -1), 0.0);
-  EXPECT_GE(health.number_or("queue_depth", -1) +
-                health.number_or("in_flight", -1),
-            1.0);
+  // Exact with the gate held: one job pinned in flight, one in the queue.
+  EXPECT_EQ(health.number_or("in_flight", -1), 1.0);
+  EXPECT_EQ(health.number_or("queue_depth", -1), 1.0);
 
+  gate->open();
   for (int i = 0; i < 2; ++i) {
     EXPECT_TRUE(client.recv_json().bool_or("ok", false));
   }
@@ -568,7 +602,8 @@ TEST(ServeFaultInjection, StatsCarryUptimeShardIdAndHealthProbeCount) {
   ServeHarness standalone;
   RawClient solo(standalone.port());
   solo.send_line(R"({"type":"stats","id":"s"})");
-  const JsonValue* solo_stats = solo.recv_json().find("stats");
+  const JsonValue solo_reply = solo.recv_json();
+  const JsonValue* solo_stats = solo_reply.find("stats");
   ASSERT_NE(solo_stats, nullptr);
   EXPECT_EQ(solo_stats->find("shard_id"), nullptr);
   solo.send_line(R"({"type":"health","id":"h"})");

@@ -1,0 +1,234 @@
+// Warm-start incremental remapping: seeding route_nets_negotiated from a
+// prior converged result. Covers the three contracts the serve session API
+// depends on: an empty edit is bit-identical to the cold run with zero
+// searches, an edited set re-routes only a delta, and a warm run converges
+// wherever the cold run does (internal cold-restart fallback).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fabric/quale_fabric.hpp"
+#include "route/pathfinder.hpp"
+
+namespace qspr {
+namespace {
+
+class WarmStartTest : public ::testing::Test {
+ protected:
+  WarmStartTest() : fabric_(make_paper_fabric()), graph_(fabric_) {}
+
+  /// Nets with pairwise-disjoint endpoints near the fabric center: the
+  /// contested-but-convergent regime incremental sessions live in.
+  std::vector<NetRequest> distinct_nets(int count, std::uint64_t seed) const {
+    const auto central = fabric_.traps_by_distance(fabric_.center());
+    const std::size_t pool = std::min<std::size_t>(
+        central.size(),
+        std::max<std::size_t>(128, 2 * static_cast<std::size_t>(count)));
+    Rng rng(seed);
+    std::vector<TrapId> traps(central.begin(),
+                              central.begin() + static_cast<long>(pool));
+    for (std::size_t i = traps.size(); i > 1; --i) {
+      std::swap(traps[i - 1], traps[rng.uniform_index(i)]);
+    }
+    std::vector<NetRequest> nets;
+    for (int i = 0; i < count; ++i) {
+      nets.push_back({traps[2 * static_cast<std::size_t>(i)],
+                      traps[2 * static_cast<std::size_t>(i) + 1]});
+    }
+    return nets;
+  }
+
+  /// A converged prior to seed from; the tests require convergence so a
+  /// failure here is a test-setup bug, not a regression.
+  PathFinderResult converged_prior(const std::vector<NetRequest>& nets) {
+    PathFinderResult prior = route_nets_negotiated(graph_, params_, nets);
+    EXPECT_TRUE(prior.converged);
+    return prior;
+  }
+
+  Fabric fabric_;
+  RoutingGraph graph_;
+  TechnologyParams params_;
+};
+
+TEST_F(WarmStartTest, EmptyEditIsBitIdenticalWithZeroSearches) {
+  const std::vector<NetRequest> nets = distinct_nets(12, 11);
+  const PathFinderResult prior = converged_prior(nets);
+
+  const WarmStartSeed seed = make_warm_seed(
+      nets, prior.paths, nets, prior.history, prior.final_present_factor);
+  PathFinderOptions options;
+  options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, nets, options);
+
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.searches_performed, 0);
+  EXPECT_EQ(warm.iterations_used, 1);
+  EXPECT_EQ(warm.warm_seeded, static_cast<int>(nets.size()));
+  EXPECT_EQ(warm.warm_kept, static_cast<int>(nets.size()));
+  EXPECT_FALSE(warm.warm_restarted);
+  EXPECT_EQ(warm.total_delay, prior.total_delay);
+  ASSERT_EQ(warm.paths.size(), prior.paths.size());
+  for (std::size_t i = 0; i < prior.paths.size(); ++i) {
+    EXPECT_EQ(warm.paths[i].nodes, prior.paths[i].nodes) << "net " << i;
+  }
+}
+
+TEST_F(WarmStartTest, EmptyEditIdentityHoldsWithoutNegotiationState) {
+  // The d = 0 identity must not depend on the optional history/present
+  // factor: with every net clean the worklist is empty and neither is ever
+  // consulted.
+  const std::vector<NetRequest> nets = distinct_nets(12, 11);
+  const PathFinderResult prior = converged_prior(nets);
+
+  const WarmStartSeed seed = make_warm_seed(nets, prior.paths, nets);
+  PathFinderOptions options;
+  options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, nets, options);
+
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.searches_performed, 0);
+  EXPECT_EQ(warm.warm_kept, static_cast<int>(nets.size()));
+  EXPECT_EQ(warm.total_delay, prior.total_delay);
+}
+
+TEST_F(WarmStartTest, EditedNetReroutesOnlyADelta) {
+  const std::vector<NetRequest> base = distinct_nets(16, 11);
+  const PathFinderResult prior = converged_prior(base);
+
+  // Replace the last net with fresh endpoints (a one-instruction edit).
+  std::vector<NetRequest> edited = base;
+  const std::vector<NetRequest> replacements = distinct_nets(16, 97);
+  edited.back() = replacements.front();
+  ASSERT_FALSE(edited.back().from == base.back().from &&
+               edited.back().to == base.back().to);
+
+  const PathFinderResult cold =
+      route_nets_negotiated(graph_, params_, edited);
+  const WarmStartSeed seed = make_warm_seed(
+      base, prior.paths, edited, prior.history, prior.final_present_factor);
+  PathFinderOptions options;
+  options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, edited, options);
+
+  // Every net but the edited one enters pre-routed; the warm negotiation
+  // must converge (cold does) and do materially less search work.
+  EXPECT_EQ(warm.warm_seeded, static_cast<int>(base.size()) - 1);
+  ASSERT_TRUE(cold.converged);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_LT(warm.searches_performed, cold.searches_performed);
+}
+
+TEST_F(WarmStartTest, SeedIgnoredWithoutPartialRipup) {
+  const std::vector<NetRequest> nets = distinct_nets(8, 11);
+  const PathFinderResult prior = converged_prior(nets);
+
+  const WarmStartSeed seed = make_warm_seed(
+      nets, prior.paths, nets, prior.history, prior.final_present_factor);
+  PathFinderOptions options;
+  options.warm = &seed;
+  options.partial_ripup = false;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, nets, options);
+
+  EXPECT_EQ(warm.warm_seeded, 0);
+  EXPECT_GT(warm.searches_performed, 0);
+}
+
+TEST_F(WarmStartTest, MisalignedSeedIsIgnored) {
+  const std::vector<NetRequest> nets = distinct_nets(8, 11);
+  const PathFinderResult prior = converged_prior(nets);
+
+  WarmStartSeed seed;
+  seed.paths = prior.paths;
+  seed.paths.pop_back();  // size mismatch: not aligned to the nets vector
+  PathFinderOptions options;
+  options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, nets, options);
+
+  EXPECT_EQ(warm.warm_seeded, 0);
+  EXPECT_TRUE(warm.converged);
+}
+
+TEST_F(WarmStartTest, ResultExportsNegotiationState) {
+  const std::vector<NetRequest> nets = distinct_nets(8, 11);
+  const PathFinderResult result = converged_prior(nets);
+
+  EXPECT_EQ(result.history.size(),
+            fabric_.segment_count() + fabric_.junction_count());
+  EXPECT_GE(result.final_present_factor, 0.6);
+  // History entries are non-negative accumulated penalties.
+  for (const double h : result.history) EXPECT_GE(h, 0.0);
+}
+
+TEST_F(WarmStartTest, UnconvergedWarmAttemptRestartsColdBitIdentically) {
+  // 24 nets over the 128 central traps is past the incremental regime: a
+  // one-net edit shifts the equilibrium globally, no local negotiation
+  // absorbs it, and the warm attempt fails to converge. The internal
+  // fallback must then rerun cold and return exactly the cold run's paths.
+  const std::vector<NetRequest> base = distinct_nets(24, 11);
+  const PathFinderResult prior = converged_prior(base);
+
+  std::vector<NetRequest> edited = base;
+  const std::vector<NetRequest> replacements = distinct_nets(24, 97);
+  edited.back() = replacements.front();
+
+  const PathFinderResult cold =
+      route_nets_negotiated(graph_, params_, edited);
+  ASSERT_TRUE(cold.converged);
+
+  const WarmStartSeed seed = make_warm_seed(
+      base, prior.paths, edited, prior.history, prior.final_present_factor);
+  PathFinderOptions warm_options;
+  warm_options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, edited, warm_options);
+
+  EXPECT_TRUE(warm.converged);
+  if (!warm.warm_restarted) {
+    GTEST_SKIP() << "negotiation dynamics changed and the warm attempt now "
+                    "converges on its own; the fallback path needs a new "
+                    "adversarial instance";
+  }
+  EXPECT_EQ(warm.warm_kept, 0);
+  ASSERT_EQ(warm.paths.size(), cold.paths.size());
+  for (std::size_t i = 0; i < cold.paths.size(); ++i) {
+    EXPECT_EQ(warm.paths[i].nodes, cold.paths[i].nodes) << "net " << i;
+  }
+  EXPECT_EQ(warm.total_delay, cold.total_delay);
+  // The abandoned attempt's work stays visible in the counters.
+  EXPECT_GE(warm.searches_performed, cold.searches_performed);
+}
+
+TEST_F(WarmStartTest, SeedFromPriorSurvivesNetReordering) {
+  // make_warm_seed matches by endpoints, not by index: a permuted net list
+  // still seeds every net.
+  const std::vector<NetRequest> base = distinct_nets(10, 11);
+  const PathFinderResult prior = converged_prior(base);
+
+  std::vector<NetRequest> permuted(base.rbegin(), base.rend());
+  const WarmStartSeed seed = make_warm_seed(
+      base, prior.paths, permuted, prior.history, prior.final_present_factor);
+  for (std::size_t i = 0; i < permuted.size(); ++i) {
+    ASSERT_FALSE(seed.paths[i].nodes.empty());
+    EXPECT_EQ(seed.paths[i].nodes.front(),
+              graph_.trap_node(permuted[i].from));
+    EXPECT_EQ(seed.paths[i].nodes.back(), graph_.trap_node(permuted[i].to));
+  }
+
+  PathFinderOptions options;
+  options.warm = &seed;
+  const PathFinderResult warm =
+      route_nets_negotiated(graph_, params_, permuted, options);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.searches_performed, 0);
+  EXPECT_EQ(warm.warm_kept, static_cast<int>(permuted.size()));
+}
+
+}  // namespace
+}  // namespace qspr
